@@ -1,0 +1,65 @@
+"""X3 — backend fidelity: generated Python vs generated C (the paper's
+native codegen).
+
+The published engine compiles every group to C++; this bench compares our
+two backends on the linear-regression batch. The expected shape: identical
+results, C executing several times faster, with a one-off gcc compilation
+cost that amortises over repeated execution (the same trade-off the paper
+reports for compiled plans).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.core.cbackend import gcc_available
+from repro.ml import covariance_batch
+from repro.ml.features import favorita_features
+from repro.paper import FAVORITA_TREE
+
+from benchmarks.conftest import report
+
+pytestmark = pytest.mark.skipif(not gcc_available(), reason="gcc not on PATH")
+
+_TIMES: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("backend", ["python", "c"])
+def test_backend_execution(benchmark, favorita_bench, backend):
+    spec = favorita_features(favorita_bench)
+    batch = covariance_batch(spec)
+    engine = LMFAO(
+        favorita_bench,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, backend=backend),
+    )
+    compile_start = time.perf_counter()
+    compiled = engine.compile(batch)
+    compile_seconds = time.perf_counter() - compile_start
+    engine.execute(compiled)  # warm tries
+
+    start = time.perf_counter()
+    benchmark.pedantic(lambda: engine.execute(compiled), rounds=3, iterations=1)
+    elapsed = (time.perf_counter() - start) / 3
+    _TIMES[backend] = elapsed
+
+    if backend == "python":
+        report(
+            "X3 backends",
+            "generated Python (LR batch, warm)",
+            "substitution baseline",
+            f"{elapsed*1e3:.0f} ms (compile {compile_seconds*1e3:.0f} ms)",
+        )
+    else:
+        assert compiled.native_group_count == compiled.num_groups
+        speedup = _TIMES.get("python", elapsed) / elapsed
+        report(
+            "X3 backends",
+            f"generated C, {compiled.native_group_count}/"
+            f"{compiled.num_groups} groups native",
+            "native codegen (paper)",
+            f"{elapsed*1e3:.0f} ms ({speedup:.1f}x vs Python; "
+            f"gcc {compile_seconds*1e3:.0f} ms, amortised)",
+        )

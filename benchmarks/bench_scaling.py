@@ -1,0 +1,83 @@
+"""X1 — scaling shape: runtime vs database size and vs batch size.
+
+The qualitative claims to reproduce: LMFAO's advantage over per-query
+execution *grows* with batch size (sharing amortises the scan), and all
+systems scale roughly linearly in database size with LMFAO keeping a
+constant-factor lead over the materialising pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import SqlEngineBaseline
+from repro.core import EngineConfig, LMFAO
+from repro.data import favorita
+from repro.ml import covariance_batch
+from repro.ml.features import favorita_features
+from repro.paper import FAVORITA_TREE
+from repro.query import QueryBatch
+
+from benchmarks.conftest import report
+
+_SCALES = (0.05, 0.1, 0.2)
+_BATCH_FRACTIONS = (0.1, 0.5, 1.0)
+
+
+def test_database_scaling(benchmark):
+    rows: list[str] = []
+
+    def sweep():
+        rows.clear()
+        for scale in _SCALES:
+            db = favorita(scale=scale, seed=33)
+            spec = favorita_features(db)
+            batch = covariance_batch(spec)
+            engine = LMFAO(db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+            start = time.perf_counter()
+            engine.run(batch)
+            lmfao = time.perf_counter() - start
+            rows.append(f"scale {scale}: {db.total_tuples()} tuples {lmfao*1e3:.0f} ms")
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        report("X1 scaling", "LMFAO vs database size", "~linear", row)
+
+
+def test_batch_size_scaling(benchmark, favorita_bench):
+    """Sharing amortisation: LMFAO time grows sublinearly with the batch,
+    per-query SQL grows linearly — the speedup widens."""
+    spec = favorita_features(favorita_bench)
+    full = list(covariance_batch(spec).queries)
+    engine = LMFAO(favorita_bench, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    sql = SqlEngineBaseline(favorita_bench)
+    measured: list[tuple[int, float, float]] = []
+
+    def sweep():
+        measured.clear()
+        for fraction in _BATCH_FRACTIONS:
+            count = max(1, int(len(full) * fraction))
+            batch = QueryBatch(full[:count])
+            start = time.perf_counter()
+            engine.run(batch)
+            lmfao = time.perf_counter() - start
+            start = time.perf_counter()
+            sql.run(batch)
+            per_query = time.perf_counter() - start
+            measured.append((count, lmfao, per_query))
+        return measured
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedups = []
+    for count, lmfao, per_query in measured:
+        speedups.append(per_query / max(lmfao, 1e-9))
+        report(
+            "X1 scaling",
+            f"batch of {count} queries",
+            "speedup grows with batch",
+            f"LMFAO {lmfao*1e3:.0f} ms, per-query {per_query*1e3:.0f} ms "
+            f"({per_query / max(lmfao, 1e-9):.1f}x)",
+        )
+    # the headline shape: larger batches favour LMFAO
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,66 @@
+"""Rk-means clustering over Retailer (paper Sections 3 and 4).
+
+Runs the four Rk-means steps (LMFAO computes the per-dimension histograms
+and the grid-coreset weights), then reproduces the demo's Figure 4(d)
+report: per-step timings, the cluster centroids, the closest centroid to a
+probed point, the relative approximation versus ten runs of conventional
+Lloyd's, and the relative coreset size.
+
+Run:  python examples/rkmeans_clustering.py [scale] [k]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import retailer
+from repro.ml import rk_means
+from repro.ml.rkmeans import closest_centroid, evaluate_against_lloyds
+
+
+def main(scale: float = 0.15, k: int = 5) -> None:
+    db = retailer(scale=scale, seed=5)
+    dimensions = ("inventoryunits", "maxtemp", "meanwind", "prize")
+    print(
+        f"Retailer scale={scale}: clustering {len(dimensions)} dimensions "
+        f"into k={k} clusters ({db.total_tuples()} tuples)"
+    )
+
+    result = rk_means(db, dimensions=dimensions, k=k, seed=3)
+    print(f"\nLMFAO queries used: {result.num_queries} (n dimensions + grid)")
+    print("-- per-step time --")
+    for step, seconds in result.step_seconds.items():
+        print(f"  {step:<20} {seconds * 1e3:8.1f} ms")
+    print("-- per-dimension time (step 2) --")
+    for dim, seconds in result.per_dimension_seconds.items():
+        print(f"  {dim:<20} {seconds * 1e3:8.1f} ms")
+
+    print(f"\ngrid coreset: {result.coreset_size} weighted points")
+    print("-- centroids --")
+    header = "  ".join(f"{d:>16}" for d in dimensions)
+    print(f"           {header}")
+    for i, c in enumerate(result.centroids):
+        cells = "  ".join(f"{v:16.2f}" for v in c)
+        print(f"cluster {i}  {cells}")
+
+    probe = result.centroids.mean(axis=0)
+    nearest = closest_centroid(result, probe)
+    print(f"\nprobe point {np.round(probe, 2).tolist()} -> closest cluster {nearest}")
+
+    evaluation = evaluate_against_lloyds(db, result, lloyd_runs=10, seed=0)
+    print(
+        f"\nquality vs conventional Lloyd's (avg of {evaluation.lloyd_runs} runs, "
+        f"{evaluation.lloyd_seconds:.2f}s):"
+    )
+    print(f"  intra-cluster distance (Rk-means): {evaluation.rk_inertia:.4g}")
+    print(f"  intra-cluster distance (Lloyd's):  {evaluation.lloyd_inertia_mean:.4g}")
+    print(f"  relative approximation:            {evaluation.relative_approximation:+.2%}")
+    print(f"  relative coreset size:             {evaluation.coreset_ratio:.4%} of |D|")
+
+
+if __name__ == "__main__":
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    main(scale, k)

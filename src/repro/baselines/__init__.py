@@ -1,0 +1,15 @@
+"""Comparison systems from the paper's evaluation narrative.
+
+* :class:`SqlEngineBaseline` — the PostgreSQL/MonetDB stand-in: each query
+  is planned and executed independently (join, then group-by aggregate),
+  with no sharing across the batch;
+* :class:`MaterializedPipeline` — the TensorFlow / scikit-learn-over-Pandas
+  stand-in: materialise the feature-extraction join once, then run dense
+  numpy aggregation per query. Also serves as the brute-force oracle for
+  the differential tests.
+"""
+
+from repro.baselines.materialized import MaterializedPipeline
+from repro.baselines.sqlengine import SqlEngineBaseline
+
+__all__ = ["MaterializedPipeline", "SqlEngineBaseline"]

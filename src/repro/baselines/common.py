@@ -1,0 +1,69 @@
+"""Shared aggregation kernels for the baseline engines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.query.query import Query, QueryResult
+
+
+def evaluate_on_join(
+    query: Query, join: Relation, where_mode: str = "indicator"
+) -> QueryResult:
+    """Evaluate one query over a materialised join with numpy group-bys.
+
+    ``where_mode``:
+
+    * ``"indicator"`` — WHERE predicates multiply as 0/1 indicators, so
+      every join group appears in the output (LMFAO's folded semantics;
+      used by the oracle in differential tests);
+    * ``"filter"`` — predicates filter rows first (SQL semantics; groups
+      with no qualifying rows are absent).
+    """
+    num_rows = join.num_rows
+    mask: np.ndarray | None = None
+    indicator: np.ndarray | None = None
+    if query.where:
+        selected = np.ones(num_rows, dtype=bool)
+        for predicate in query.where:
+            selected &= predicate.evaluate(join.column(predicate.attribute))
+        if where_mode == "filter":
+            mask = selected
+        else:
+            indicator = selected.astype(np.float64)
+
+    def column(name: str) -> np.ndarray:
+        col = join.column(name)
+        return col[mask] if mask is not None else col
+
+    effective_rows = int(mask.sum()) if mask is not None else num_rows
+    values: list[np.ndarray] = []
+    for aggregate in query.aggregates:
+        prod = np.ones(effective_rows, dtype=np.float64)
+        for factor in aggregate.factors:
+            prod = prod * factor.function(column(factor.attribute))
+        if indicator is not None:
+            prod = prod * indicator
+        values.append(prod)
+
+    groups: dict[tuple, tuple[float, ...]] = {}
+    if not query.group_by:
+        if effective_rows:
+            groups[()] = tuple(float(v.sum()) for v in values)
+        else:
+            groups[()] = tuple(0.0 for _ in values)
+        return QueryResult(query=query, groups=groups)
+
+    key_cols = [column(name) for name in query.group_by]
+    stacked = np.stack(key_cols, axis=1) if key_cols else None
+    if effective_rows == 0:
+        return QueryResult(query=query, groups={})
+    uniques, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    sums = [
+        np.bincount(inverse, weights=v, minlength=len(uniques)) for v in values
+    ]
+    for i, key_row in enumerate(uniques):
+        key = tuple(k.item() for k in key_row)
+        groups[key] = tuple(float(s[i]) for s in sums)
+    return QueryResult(query=query, groups=groups)

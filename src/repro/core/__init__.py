@@ -1,0 +1,32 @@
+"""LMFAO's three optimisation layers and the execution engine."""
+
+from repro.core.codegen import CompiledGroup, generate_group
+from repro.core.decompose import decompose_group
+from repro.core.engine import CompiledBatch, EngineConfig, LMFAO, RunResult
+from repro.core.groups import Group, GroupPlan, build_groups
+from repro.core.orders import GroupOrder, order_group
+from repro.core.plan import MultiOutputPlan
+from repro.core.viewgen import ViewGenerator, ViewPlan
+from repro.core.views import AggRef, Output, View, ViewAggregate
+
+__all__ = [
+    "AggRef",
+    "CompiledBatch",
+    "CompiledGroup",
+    "EngineConfig",
+    "Group",
+    "GroupOrder",
+    "GroupPlan",
+    "LMFAO",
+    "MultiOutputPlan",
+    "Output",
+    "RunResult",
+    "View",
+    "ViewAggregate",
+    "ViewGenerator",
+    "ViewPlan",
+    "build_groups",
+    "decompose_group",
+    "generate_group",
+    "order_group",
+]

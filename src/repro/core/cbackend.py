@@ -1,0 +1,811 @@
+"""Optional C code-generation backend (the paper's native codegen).
+
+The published LMFAO emits C++ compiled with g++; this module restores that
+fidelity where a toolchain is available: each :class:`MultiOutputPlan` is
+lowered to C99, compiled with ``gcc -O2 -shared`` and invoked through
+ctypes. The generated C mirrors the Python backend statement for
+statement — same trie loops, probes, γ/β locals, support guards and output
+updates — so the two backends are differentially testable.
+
+Runtime data layout (all buffers allocated by Python as numpy arrays and
+passed as a single ``void**`` argument vector):
+
+* trie levels — the CSR arrays of :class:`repro.data.trie.TrieIndex`;
+* scalar incoming views — flattened entry arrays (key part columns + a
+  row-major aggregate matrix); the generated prologue builds an
+  open-addressing hash table (linear probing, splitmix64 mixing) in
+  preallocated buffers;
+* carried incoming views — entries sorted by local key; a hash table maps
+  each distinct key to its contiguous entry range (sub-sums and keyed
+  emissions iterate ranges);
+* outputs — aligned emissions append into arrays sized by the emission
+  level's run count; accumulating emissions use a preallocated
+  open-addressing table. Table overflow makes the function return 1 and
+  the wrapper retries with doubled capacities (results are a pure function
+  of the inputs, so the retry is safe).
+
+Supported plans: integer (categorical) trie levels, view keys and group-by
+attributes. :func:`supports_plan` reports this; the engine falls back to
+the Python backend per group otherwise (e.g. Rk-means' float dimensions).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import io
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.plan import (
+    CountTerm,
+    Emission,
+    EmissionSlot,
+    FactorTerm,
+    MultiOutputPlan,
+    RowSumTerm,
+    SubSumTerm,
+    Term,
+    ViewTerm,
+)
+from repro.data.trie import TrieIndex
+from repro.query.functions import Function
+from repro.util.errors import PlanError
+
+_PRELUDE = r"""
+#include <stdint.h>
+
+static inline uint64_t lmfao_mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+"""
+
+
+def gcc_available() -> bool:
+    """True when a usable ``gcc`` is on PATH."""
+    try:
+        subprocess.run(
+            ["gcc", "--version"], capture_output=True, check=True, timeout=10
+        )
+        return True
+    except Exception:
+        return False
+
+
+def supports_plan(plan: MultiOutputPlan, attribute_kinds: Mapping[str, str]) -> bool:
+    """Whether the C backend can execute ``plan``.
+
+    ``attribute_kinds`` maps attribute name to ``"categorical"`` /
+    ``"continuous"``; every trie level, view key and emission key must be
+    integer (carried blocks are supported — their keys and carried
+    attributes are group-by attributes, hence categorical by check below).
+    """
+    for level in plan.relation_levels:
+        if attribute_kinds.get(level.attr) != "categorical":
+            return False
+    for emission in plan.emissions:
+        for attr in emission.group_by:
+            if attribute_kinds.get(attr) != "categorical":
+                return False
+    for block in plan.carried_blocks:
+        for attr in block.key + block.carried:
+            if attribute_kinds.get(attr) != "categorical":
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# source generation
+# ---------------------------------------------------------------------------
+
+
+class _CWriter:
+    def __init__(self) -> None:
+        self._buf = io.StringIO()
+        self._indent = 1
+
+    def line(self, text: str = "") -> None:
+        self._buf.write("    " * self._indent + text + "\n")
+
+    def push(self) -> None:
+        self._indent += 1
+
+    def pop(self) -> None:
+        self._indent -= 1
+
+    def text(self) -> str:
+        return self._buf.getvalue()
+
+
+@dataclass
+class _ArgSpec:
+    """One slot of the void** argument vector, in order."""
+
+    name: str  # C variable name
+    ctype: str  # C pointer type
+    role: tuple  # how the Python wrapper fills it
+
+
+def _emission_mode(emission: Emission) -> str:
+    if not emission.group_by:
+        return "scalar"
+    if emission.aligned:
+        return "append"
+    return "hash"
+
+
+def generate_c_source(plan: MultiOutputPlan, symbol: str) -> tuple[str, list[_ArgSpec]]:
+    """Lower one plan to a C function ``int32_t <symbol>(void** a)``.
+
+    Returns the source and the ordered argument specs the wrapper must
+    provide. A return value of 1 signals output-table overflow (retry with
+    larger buffers).
+    """
+    num_rel = len(plan.relation_levels)
+    args: list[_ArgSpec] = []
+
+    def arg(name: str, ctype: str, role: tuple) -> str:
+        args.append(_ArgSpec(name=name, ctype=ctype, role=role))
+        return name
+
+    w = _CWriter()
+
+    # ---------------- argument layout --------------------------------------
+    arg("NROWS_P", "const int64_t*", ("nrows",))
+    for k in range(num_rel):
+        for part in ("vals", "rs", "re", "cs", "ce"):
+            arg(f"L{k}_{part}", "const int64_t*", ("level", k, part))
+    arg("NRUNS_P", "const int64_t*", ("run_counts",))  # per-level run counts
+    farr_var: dict[tuple[int, str, str], str] = {}
+    for i, key in enumerate(plan.level_functions):
+        farr_var[key] = arg(f"F{i}", "const double*", ("farr", key))
+    psum_var: dict[tuple, str] = {}
+    for i, product in enumerate(plan.row_products):
+        psum_var[product] = arg(f"P{i}", "const double*", ("psum", product))
+
+    binding_index: dict[str, int] = {}
+    binding_by_view = {b.view: b for b in plan.bindings}
+    blocks = {cb.index: cb for cb in plan.carried_blocks}
+    block_binding = {
+        cb.index: binding_by_view[cb.view] for cb in plan.carried_blocks
+    }
+    for i, binding in enumerate(plan.bindings):
+        binding_index[binding.view] = i
+        kparts = len(binding.key)
+        arg(f"B{i}_m", "const int64_t*", ("bind_count", binding.view))
+        for p in range(kparts):
+            arg(f"B{i}_ek{p}", "const int64_t*", ("bind_keys", binding.view, p))
+        arg(f"B{i}_ev", "const double*", ("bind_vals", binding.view))
+        arg(f"B{i}_mask_p", "const int64_t*", ("bind_mask", binding.view))
+        arg(f"B{i}_occ", "int8_t*", ("bind_occ", binding.view))
+        for p in range(kparts):
+            arg(f"B{i}_k{p}", "int64_t*", ("bind_tk", binding.view, p))
+        arg(f"B{i}_lo", "int64_t*", ("bind_lo", binding.view))
+        arg(f"B{i}_hi", "int64_t*", ("bind_hi", binding.view))
+        if binding.is_carried:
+            for p in range(len(binding.carried)):
+                arg(
+                    f"CB{binding.block}_c{p}",
+                    "const int64_t*",
+                    ("bind_carried", binding.view, p),
+                )
+
+    out_specs: list[tuple[Emission, str]] = []
+    for i, emission in enumerate(plan.emissions):
+        mode = _emission_mode(emission)
+        out_specs.append((emission, mode))
+        kparts = len(emission.group_by)
+        if mode == "scalar":
+            arg(f"O{i}_v", "double*", ("out_scalar", i))
+        elif mode == "append":
+            for p in range(kparts):
+                arg(f"O{i}_k{p}", "int64_t*", ("out_keys", i, p))
+            arg(f"O{i}_v", "double*", ("out_vals", i))
+            arg(f"O{i}_n", "int64_t*", ("out_count", i))
+        else:  # hash accumulate
+            arg(f"O{i}_mask_p", "const int64_t*", ("out_mask", i))
+            arg(f"O{i}_occ", "int8_t*", ("out_occ", i))
+            for p in range(kparts):
+                arg(f"O{i}_k{p}", "int64_t*", ("out_keys", i, p))
+            arg(f"O{i}_v", "double*", ("out_vals", i))
+            arg(f"O{i}_n", "int64_t*", ("out_count", i))
+
+    # ---------------- prologue: build view hash tables ----------------------
+    w.line("const int64_t NROWS = NROWS_P[0];")
+    w.line("(void)NROWS; (void)NRUNS_P;")
+    for i, binding in enumerate(plan.bindings):
+        kparts = len(binding.key)
+        w.line(f"const int64_t B{i}_mask = B{i}_mask_p[0];")
+        if not binding.is_carried:
+            # one table entry per view entry: key -> row range [e, e+1)
+            w.line(f"for (int64_t e = 0; e < B{i}_m[0]; e++) {{")
+            w.push()
+            parts = " ^ ".join(
+                f"lmfao_mix((uint64_t)B{i}_ek{p}[e] + {p})" for p in range(kparts)
+            )
+            w.line(f"uint64_t h = ({parts}) & (uint64_t)B{i}_mask;")
+            w.line(f"while (B{i}_occ[h]) h = (h + 1) & (uint64_t)B{i}_mask;")
+            w.line(f"B{i}_occ[h] = 1;")
+            for p in range(kparts):
+                w.line(f"B{i}_k{p}[h] = B{i}_ek{p}[e];")
+            w.line(f"B{i}_lo[h] = e; B{i}_hi[h] = e + 1;")
+            w.pop()
+            w.line("}")
+        else:
+            # entries arrive sorted by key: hash distinct keys to ranges
+            w.line(f"for (int64_t e = 0; e < B{i}_m[0]; e++) {{")
+            w.push()
+            same = " && ".join(
+                f"B{i}_ek{p}[e] == B{i}_ek{p}[e-1]" for p in range(kparts)
+            )
+            w.line(f"if (e > 0 && {same}) continue;")
+            w.line(f"int64_t hi = e + 1;")
+            cont = " && ".join(
+                f"B{i}_ek{p}[hi] == B{i}_ek{p}[e]" for p in range(kparts)
+            )
+            w.line(f"while (hi < B{i}_m[0] && {cont}) hi++;")
+            parts = " ^ ".join(
+                f"lmfao_mix((uint64_t)B{i}_ek{p}[e] + {p})" for p in range(kparts)
+            )
+            w.line(f"uint64_t h = ({parts}) & (uint64_t)B{i}_mask;")
+            w.line(f"while (B{i}_occ[h]) h = (h + 1) & (uint64_t)B{i}_mask;")
+            w.line(f"B{i}_occ[h] = 1;")
+            for p in range(kparts):
+                w.line(f"B{i}_k{p}[h] = B{i}_ek{p}[e];")
+            w.line(f"B{i}_lo[h] = e; B{i}_hi[h] = hi;")
+            w.pop()
+            w.line("}")
+
+    # ---------------- schedules (mirror the Python backend) -----------------
+    bindings_at: dict[int, list] = {}
+    for binding in plan.bindings:
+        bindings_at.setdefault(binding.bind_level, []).append(binding)
+    subsums_by_block: dict[int, list[SubSumTerm]] = {}
+    for term in plan.subsums:
+        subsums_by_block.setdefault(term.block, []).append(term)
+
+    term_vars: dict[tuple, tuple[str, str]] = {}
+    hoisted_at: dict[int, list[tuple[str, str]]] = {}
+    counter = [0]
+
+    def term_expr(term: Term) -> str:
+        if isinstance(term, ViewTerm):
+            i = binding_index[term.view]
+            width = binding_by_view[term.view].num_aggregates
+            return f"B{i}_ev[sl_B{i} * {width} + {term.agg_index}]"
+        if isinstance(term, SubSumTerm):
+            return f"ss_{term.block}_{term.agg_index}"
+        if isinstance(term, FactorTerm):
+            base = f"{farr_var[(term.level, term.attr, term.func_name)]}[r{term.level}]"
+        elif isinstance(term, CountTerm):
+            if term.level < 0:
+                base = "(double)NROWS"
+            else:
+                base = (
+                    f"(double)(L{term.level}_re[r{term.level}] - "
+                    f"L{term.level}_rs[r{term.level}])"
+                )
+        elif isinstance(term, RowSumTerm):
+            pv = psum_var[term.product]
+            if term.level < 0:
+                base = f"{pv}[NROWS]"
+            else:
+                base = (
+                    f"({pv}[L{term.level}_re[r{term.level}]] - "
+                    f"{pv}[L{term.level}_rs[r{term.level}]])"
+                )
+        else:  # pragma: no cover
+            raise PlanError(f"unknown term {term!r}")
+        cached = term_vars.get(term.sig)
+        if cached is None:
+            var = f"t{counter[0]}"
+            counter[0] += 1
+            term_vars[term.sig] = (var, base)
+            hoisted_at.setdefault(term.level, []).append((var, base))
+            cached = (var, base)
+        return cached[0]
+
+    gammas_at: dict[int, list] = {}
+    for node in plan.gammas:
+        gammas_at.setdefault(node.level, []).append(node)
+    beta_inits_at: dict[int, list] = {}
+    beta_accums_at: dict[int, list] = {}
+    for node in plan.betas:
+        beta_inits_at.setdefault(node.reset_level, []).append(node)
+        beta_accums_at.setdefault(node.level, []).append(node)
+
+    gamma_exprs = {n.id: [term_expr(t) for t in n.terms] for n in plan.gammas}
+    beta_exprs = {n.id: [term_expr(t) for t in n.terms] for n in plan.betas}
+
+    emissions_at: dict[int, list[tuple[int, Emission, tuple[EmissionSlot, ...]]]] = {}
+    scalar_emissions: list[tuple[int, Emission]] = []
+    for i, (emission, mode) in enumerate(out_specs):
+        if mode == "scalar":
+            scalar_emissions.append((i, emission))
+            continue
+        if mode == "append":
+            emissions_at.setdefault(emission.slots[0].level, []).append(
+                (i, emission, emission.slots)
+            )
+            continue
+        groups: dict[tuple, list[EmissionSlot]] = {}
+        for slot in emission.slots:
+            groups.setdefault(
+                (slot.level, slot.key_parts, slot.key_blocks, slot.support), []
+            ).append(slot)
+        for (level, _parts, _blocks, _support), slots in groups.items():
+            emissions_at.setdefault(level, []).append((i, emission, tuple(slots)))
+
+    def slot_value(slot: EmissionSlot) -> str:
+        pieces = []
+        if slot.gamma is not None:
+            pieces.append(f"g{slot.gamma}")
+        if slot.beta is not None:
+            pieces.append(f"b{slot.beta}")
+        for cf in slot.carried_factors:
+            width = block_binding[cf.block].num_aggregates
+            i = binding_index[block_binding[cf.block].view]
+            pieces.append(f"B{i}_ev[e{cf.block} * {width} + {cf.agg_index}]")
+        return " * ".join(pieces) if pieces else "1.0"
+
+    def emit_body(level: int) -> None:
+        for var, expr in hoisted_at.get(level, ()):
+            w.line(f"const double {var} = {expr};")
+        for node in gammas_at.get(level, ()):
+            exprs = list(gamma_exprs[node.id])
+            if node.parent is not None:
+                exprs = [f"g{node.parent}"] + exprs
+            w.line(f"const double g{node.id} = {' * '.join(exprs)};")
+        for node in beta_inits_at.get(level, ()):
+            w.line(f"double b{node.id} = 0.0;")
+
+    def emit_tail(level: int) -> None:
+        for node in beta_accums_at.get(level, ()):
+            exprs = list(beta_exprs[node.id])
+            if node.child is not None:
+                exprs.append(f"b{node.child}")
+            w.line(f"b{node.id} += {' * '.join(exprs)};")
+        for index, emission, slots in emissions_at.get(level, ()):
+            _emit_output(w, plan, blocks, index, emission, slots, slot_value)
+
+    def emit_probes(level: int) -> None:
+        for binding in bindings_at.get(level, ()):
+            i = binding_index[binding.view]
+            kparts = len(binding.key)
+            parts = " ^ ".join(
+                f"lmfao_mix((uint64_t)v{binding.key_levels[p]} + {p})"
+                for p in range(kparts)
+            )
+            w.line(f"int64_t sl_B{i} = -1, hi_B{i} = -1;")
+            w.line("{")
+            w.push()
+            w.line(f"uint64_t h = ({parts}) & (uint64_t)B{i}_mask;")
+            w.line(f"while (B{i}_occ[h]) {{")
+            w.push()
+            match = " && ".join(
+                f"B{i}_k{p}[h] == v{binding.key_levels[p]}" for p in range(kparts)
+            )
+            w.line(
+                f"if ({match}) {{ sl_B{i} = B{i}_lo[h]; hi_B{i} = B{i}_hi[h]; break; }}"
+            )
+            w.line(f"h = (h + 1) & (uint64_t)B{i}_mask;")
+            w.pop()
+            w.line("}")
+            w.pop()
+            w.line("}")
+            w.line(f"if (sl_B{i} < 0) continue;")
+            if binding.is_carried:
+                subs = subsums_by_block.get(binding.block, ())
+                if subs:
+                    for term in subs:
+                        w.line(f"double ss_{term.block}_{term.agg_index} = 0.0;")
+                    width = binding.num_aggregates
+                    w.line(
+                        f"for (int64_t e = sl_B{i}; e < hi_B{i}; e++) {{"
+                    )
+                    w.push()
+                    for term in subs:
+                        w.line(
+                            f"ss_{term.block}_{term.agg_index} += "
+                            f"B{i}_ev[e * {width} + {term.agg_index}];"
+                        )
+                    w.pop()
+                    w.line("}")
+            else:
+                w.line(f"(void)hi_B{i};")
+
+    def emit_loops(level: int) -> None:
+        if level >= num_rel:
+            return
+        if level == 0:
+            w.line("for (int64_t r0 = 0; r0 < NRUNS_P[0]; r0++) {")
+        else:
+            w.line(
+                f"for (int64_t r{level} = L{level-1}_cs[r{level-1}]; "
+                f"r{level} < L{level-1}_ce[r{level-1}]; r{level}++) {{"
+            )
+        w.push()
+        w.line(f"const int64_t v{level} = L{level}_vals[r{level}]; (void)v{level};")
+        emit_probes(level)
+        emit_body(level)
+        emit_loops(level + 1)
+        emit_tail(level)
+        w.pop()
+        w.line("}")
+
+    emit_body(-1)
+    emit_loops(0)
+    emit_tail(-1)
+    for index, emission in scalar_emissions:
+        for j, slot in enumerate(emission.slots):
+            w.line(f"O{index}_v[{j}] = {slot_value(slot)};")
+    w.line("return 0;")
+
+    unpack = "\n".join(
+        f"    {spec.ctype} {spec.name} = ({spec.ctype})a[{i}];"
+        for i, spec in enumerate(args)
+    )
+    source = f"int32_t {symbol}(void** a) {{\n{unpack}\n" + w.text() + "}\n"
+    return source, args
+
+
+def _emit_output(w, plan, blocks, index, emission, slots, slot_value) -> None:
+    first = slots[0]
+    width = emission.width
+    guarded = first.support is not None
+    if guarded:
+        w.line(f"if (b{first.support} > 0) {{")
+        w.push()
+
+    # nested entry loops over keyed carried blocks
+    binding_of_block = {cb.index: cb for cb in plan.carried_blocks}
+    for block in first.key_blocks:
+        i = next(
+            j for j, b in enumerate(plan.bindings)
+            if b.view == binding_of_block[block].view
+        )
+        w.line(f"for (int64_t e{block} = sl_B{i}; e{block} < hi_B{i}; e{block}++) {{")
+        w.push()
+
+    def key_expr(part) -> str:
+        if part.kind == "rel":
+            return f"v{part.level}"
+        return f"CB{part.level}_c{part.pos}[e{part.level}]"
+
+    key_exprs = [key_expr(p) for p in first.key_parts]
+    if emission.aligned:
+        w.line("{")
+        w.push()
+        w.line(f"const int64_t n = O{index}_n[0];")
+        for p, expr in enumerate(key_exprs):
+            w.line(f"O{index}_k{p}[n] = {expr};")
+        for slot in slots:
+            w.line(f"O{index}_v[n * {width} + {slot.slot}] = {slot_value(slot)};")
+        w.line(f"O{index}_n[0] = n + 1;")
+        w.pop()
+        w.line("}")
+    else:
+        w.line("{")
+        w.push()
+        parts = " ^ ".join(
+            f"lmfao_mix((uint64_t)({expr}) + {p})" for p, expr in enumerate(key_exprs)
+        )
+        w.line(f"const int64_t mask = O{index}_mask_p[0];")
+        w.line(f"uint64_t h = ({parts}) & (uint64_t)mask;")
+        w.line("while (1) {")
+        w.push()
+        w.line(f"if (!O{index}_occ[h]) {{")
+        w.push()
+        w.line(f"if (2 * (O{index}_n[0] + 1) > mask + 1) return 1;")
+        w.line(f"O{index}_occ[h] = 1;")
+        for p, expr in enumerate(key_exprs):
+            w.line(f"O{index}_k{p}[h] = {expr};")
+        w.line(f"for (int j = 0; j < {width}; j++) O{index}_v[h * {width} + j] = 0.0;")
+        w.line(f"O{index}_n[0]++;")
+        w.line("break;")
+        w.pop()
+        w.line("}")
+        match = " && ".join(
+            f"O{index}_k{p}[h] == ({expr})" for p, expr in enumerate(key_exprs)
+        )
+        w.line(f"if ({match}) break;")
+        w.line("h = (h + 1) & (uint64_t)mask;")
+        w.pop()
+        w.line("}")
+        for slot in slots:
+            w.line(f"O{index}_v[h * {width} + {slot.slot}] += {slot_value(slot)};")
+        w.pop()
+        w.line("}")
+
+    for _block in first.key_blocks:
+        w.pop()
+        w.line("}")
+    if guarded:
+        w.pop()
+        w.line("}")
+
+
+# ---------------------------------------------------------------------------
+# compilation and execution
+# ---------------------------------------------------------------------------
+
+
+def _next_pow2(n: int) -> int:
+    size = 8
+    while size < n:
+        size <<= 1
+    return size
+
+
+class CCompiledGroup:
+    """One plan compiled to native code, with its marshaling logic."""
+
+    def __init__(self, plan: MultiOutputPlan, symbol: str, args: list[_ArgSpec],
+                 source: str) -> None:
+        self.plan = plan
+        self.symbol = symbol
+        self.args = args
+        self.source = source
+        self.fn = None  # bound by CBackendLibrary.load
+
+    # ------------------------------------------------------------- marshaling
+    def _binding_entries(self, binding, view_data, view_group_by):
+        """Entry arrays for one binding: key part cols, carried cols, aggs.
+
+        Carried bindings are sorted by their local key so the generated
+        prologue can hash distinct keys to contiguous ranges.
+        """
+        data = view_data[binding.view]
+        group_by = view_group_by[binding.view]
+        m = len(data)
+        kparts = len(binding.key)
+        key_positions = [group_by.index(a) for a in binding.key]
+        carried_positions = [group_by.index(a) for a in binding.carried]
+        key_cols = [np.empty(m, dtype=np.int64) for _ in range(kparts)]
+        carried_cols = [np.empty(m, dtype=np.int64) for _ in binding.carried]
+        vals = np.empty((m, binding.num_aggregates), dtype=np.float64)
+        for e, (key, aggs) in enumerate(data.items()):
+            full = key if isinstance(key, tuple) else (key,)
+            for p in range(kparts):
+                key_cols[p][e] = full[key_positions[p]]
+            for p in range(len(carried_cols)):
+                carried_cols[p][e] = full[carried_positions[p]]
+            for j in range(binding.num_aggregates):
+                vals[e, j] = aggs[j]
+        if binding.is_carried and m > 1:
+            order = np.lexsort(tuple(reversed(key_cols)))
+            key_cols = [c[order] for c in key_cols]
+            carried_cols = [c[order] for c in carried_cols]
+            vals = vals[order]
+        return key_cols, carried_cols, np.ascontiguousarray(vals)
+
+    def execute(
+        self,
+        trie: TrieIndex,
+        view_data: Mapping[str, dict],
+        view_group_by: Mapping[str, tuple[str, ...]],
+        functions: Mapping[str, Function],
+    ) -> dict[str, dict]:
+        if self.fn is None:
+            raise PlanError("C group not loaded")
+        plan = self.plan
+
+        bind_entries = {
+            binding.view: self._binding_entries(binding, view_data, view_group_by)
+            for binding in plan.bindings
+        }
+        run_counts = np.array(
+            [trie.level(k).num_runs for k in range(len(plan.relation_levels))]
+            or [0],
+            dtype=np.int64,
+        )
+
+        capacity_boost = 1
+        for _attempt in range(24):
+            outputs = self._attempt(
+                trie, plan, bind_entries, view_data, functions, run_counts,
+                capacity_boost,
+            )
+            if outputs is not None:
+                return outputs
+            capacity_boost *= 4
+        raise PlanError(f"{plan.group_name}: C output tables kept overflowing")
+
+    def _attempt(self, trie, plan, bind_entries, view_data, functions, run_counts,
+                 capacity_boost):
+        holders: list[np.ndarray] = []
+        argv = (ctypes.c_void_p * len(self.args))()
+
+        def put(i: int, array: np.ndarray) -> None:
+            holders.append(array)
+            argv[i] = array.ctypes.data
+
+        def bind_capacity(view: str) -> int:
+            return _next_pow2(2 * max(1, len(view_data[view])))
+
+        out_buffers: dict[int, dict] = {}
+
+        def out_capacity(index: int) -> int:
+            emission = plan.emissions[index]
+            mode = _emission_mode(emission)
+            if mode == "scalar":
+                return 1
+            host = max(s.level for s in emission.slots)
+            runs = trie.level(host).num_runs if host >= 0 else 1
+            if mode == "append":
+                return max(1, runs)
+            return _next_pow2(4 * max(1, runs) * capacity_boost)
+
+        for i, spec in enumerate(self.args):
+            role = spec.role
+            kind = role[0]
+            if kind == "nrows":
+                put(i, np.array([trie.num_rows], dtype=np.int64))
+            elif kind == "run_counts":
+                put(i, run_counts)
+            elif kind == "level":
+                _, k, part = role
+                level = trie.level(k)
+                array = {
+                    "vals": level.values,
+                    "rs": level.row_start,
+                    "re": level.row_end,
+                    "cs": level.child_start,
+                    "ce": level.child_end,
+                }[part]
+                put(i, np.ascontiguousarray(array, dtype=np.int64))
+            elif kind == "farr":
+                _, (k, attr, func_name) = role
+                values = trie.level_function_values(
+                    k, f"{func_name}({attr})", functions[func_name]
+                )
+                put(i, np.asarray(values, dtype=np.float64))
+            elif kind == "psum":
+                _, product = role
+                from repro.core.runtime import _product_column, _product_signature
+
+                put(
+                    i,
+                    trie.prefix_sum(
+                        _product_signature(product),
+                        _product_column(product, functions),
+                    ),
+                )
+            elif kind == "bind_count":
+                put(i, np.array([len(view_data[role[1]])], dtype=np.int64))
+            elif kind == "bind_keys":
+                put(i, bind_entries[role[1]][0][role[2]])
+            elif kind == "bind_carried":
+                put(i, bind_entries[role[1]][1][role[2]])
+            elif kind == "bind_vals":
+                put(i, bind_entries[role[1]][2])
+            elif kind == "bind_mask":
+                put(i, np.array([bind_capacity(role[1]) - 1], dtype=np.int64))
+            elif kind == "bind_occ":
+                put(i, np.zeros(bind_capacity(role[1]), dtype=np.int8))
+            elif kind in {"bind_tk"}:
+                put(i, np.zeros(bind_capacity(role[1]), dtype=np.int64))
+            elif kind in {"bind_lo", "bind_hi"}:
+                put(i, np.zeros(bind_capacity(role[1]), dtype=np.int64))
+            elif kind in {"out_scalar", "out_keys", "out_vals", "out_count",
+                          "out_mask", "out_occ"}:
+                index = role[1]
+                buffers = out_buffers.setdefault(index, {})
+                emission = plan.emissions[index]
+                width = emission.width
+                capacity = out_capacity(index)
+                if kind == "out_scalar":
+                    array = buffers.setdefault(
+                        "vals", np.zeros(width, dtype=np.float64)
+                    )
+                elif kind == "out_keys":
+                    array = buffers.setdefault(
+                        ("keys", role[2]), np.zeros(capacity, dtype=np.int64)
+                    )
+                elif kind == "out_vals":
+                    array = buffers.setdefault(
+                        "vals", np.zeros(capacity * width, dtype=np.float64)
+                    )
+                elif kind == "out_count":
+                    array = buffers.setdefault("count", np.zeros(1, dtype=np.int64))
+                elif kind == "out_mask":
+                    array = buffers.setdefault(
+                        "mask", np.array([capacity - 1], dtype=np.int64)
+                    )
+                else:  # out_occ
+                    array = buffers.setdefault("occ", np.zeros(capacity, dtype=np.int8))
+                put(i, array)
+            else:  # pragma: no cover
+                raise PlanError(f"unknown argument role {role!r}")
+
+        status = self.fn(argv)
+        if status != 0:
+            return None
+
+        outputs: dict[str, dict] = {}
+        for index, emission in enumerate(plan.emissions):
+            mode = _emission_mode(emission)
+            buffers = out_buffers[index]
+            width = emission.width
+            if mode == "scalar":
+                outputs[emission.artifact] = {(): list(buffers["vals"])}
+                continue
+            kparts = len(emission.group_by)
+            if mode == "append":
+                n = int(buffers["count"][0])
+                vals = buffers["vals"][: n * width].reshape(n, width)
+                keys = [buffers[("keys", p)][:n] for p in range(kparts)]
+            else:
+                occ = buffers["occ"].view(bool)
+                vals = buffers["vals"].reshape(-1, width)[occ]
+                keys = [buffers[("keys", p)][occ] for p in range(kparts)]
+            if kparts == 1:
+                result = dict(zip(keys[0].tolist(), vals.tolist()))
+            else:
+                key_rows = list(zip(*(k.tolist() for k in keys)))
+                result = dict(zip(key_rows, vals.tolist()))
+            outputs[emission.artifact] = result
+        return outputs
+
+
+class CBackendLibrary:
+    """Compiles a set of plans into one shared object and binds symbols."""
+
+    def __init__(self) -> None:
+        self._lib = None
+        self._dir: tempfile.TemporaryDirectory | None = None
+
+    def compile(self, groups: list[CCompiledGroup]) -> None:
+        """Compile one object file per group in parallel, then link.
+
+        Task-parallel compilation mirrors how the published system hides
+        its g++ latency; the biggest group's translation unit still
+        dominates, exactly the trade-off the paper reports for compiled
+        batches.
+        """
+        digest = hashlib.sha1(
+            "".join(g.source for g in groups).encode()
+        ).hexdigest()[:12]
+        self._dir = tempfile.TemporaryDirectory(prefix="lmfao_c_")
+        base = Path(self._dir.name)
+        processes = []
+        objects = []
+        for i, group in enumerate(groups):
+            c_path = base / f"g{i}.c"
+            o_path = base / f"g{i}.o"
+            c_path.write_text(_PRELUDE + group.source)
+            objects.append(str(o_path))
+            processes.append(
+                subprocess.Popen(
+                    ["gcc", "-O1", "-fPIC", "-c", "-o", str(o_path), str(c_path)],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                )
+            )
+        for i, process in enumerate(processes):
+            _, stderr = process.communicate()
+            if process.returncode != 0:
+                raise PlanError(f"gcc failed on {groups[i].symbol}:\n{stderr[:4000]}")
+        so_path = base / f"groups_{digest}.so"
+        result = subprocess.run(
+            ["gcc", "-shared", "-o", str(so_path)] + objects,
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            raise PlanError(f"gcc link failed:\n{result.stderr[:4000]}")
+        self._lib = ctypes.CDLL(str(so_path))
+        for group in groups:
+            fn = getattr(self._lib, group.symbol)
+            fn.argtypes = [ctypes.POINTER(ctypes.c_void_p)]
+            fn.restype = ctypes.c_int32
+            group.fn = fn

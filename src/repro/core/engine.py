@@ -1,0 +1,432 @@
+"""The LMFAO engine: batch in, all aggregate results out.
+
+:class:`LMFAO` wires the three layers of the paper together:
+
+1. **view generation** — join tree (built or supplied), per-query roots,
+   aggregate pushdown, view merging (:mod:`repro.core.viewgen`);
+2. **multi-output optimisation** — grouping, attribute orders, γ/β
+   decomposition (:mod:`repro.core.groups`, :mod:`repro.core.orders`,
+   :mod:`repro.core.decompose`);
+3. **code generation** — one specialised function per group
+   (:mod:`repro.core.codegen`), executed over the dependency DAG.
+
+Per-query ``WHERE`` conjunctions are folded into the sum-product as
+indicator factors — the trick that lets a batch of differently-filtered
+decision-tree aggregates share a single scan. Predicates shared by *every*
+query in a batch can optionally be pushed into physical filters on the base
+relations instead (``push_shared_predicates``).
+
+Every optimisation is individually switchable through
+:class:`EngineConfig`, which is what the ablation benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.codegen import CompiledGroup, generate_group
+from repro.core.decompose import decompose_group
+from repro.core.groups import GroupPlan, build_groups
+from repro.core.orders import GroupOrder, order_group
+from repro.core.plan import MultiOutputPlan
+from repro.core.runtime import GroupEnvironment
+from repro.core.viewgen import ViewGenerator, ViewPlan
+from repro.data.catalog import Database
+from repro.data.relation import Relation
+from repro.data.trie import TrieIndex
+from repro.jointree.construction import build_join_tree
+from repro.jointree.jointree import JoinTree
+from repro.jointree.roots import assign_roots
+from repro.query.aggregates import Aggregate, Factor
+from repro.query.batch import QueryBatch
+from repro.query.functions import Function
+from repro.query.predicates import Predicate
+from repro.query.query import Query, QueryResult
+from repro.util.errors import PlanError
+from repro.util.timer import Stopwatch
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine options; the defaults are full-LMFAO.
+
+    Each switch disables one optimisation layer for ablation studies:
+
+    ``merge_views=False``
+        no cross-query view merging (each query keeps its own views);
+    ``multi_output=False``
+        one group per view/output — no shared scans;
+    ``factorize=False``
+        no γ/β sharing or pushdown — every term is evaluated at the
+        deepest loop level of its artifact;
+    ``single_root``
+        force every query onto one root (``"auto"`` = largest relation),
+        the paper's strawman of one rooted tree for the whole batch;
+    ``push_shared_predicates=True``
+        predicates common to all queries become physical filters on the
+        base relations instead of indicator factors.
+    """
+
+    merge_views: bool = True
+    multi_output: bool = True
+    factorize: bool = True
+    share_scan_terms: bool = True
+    push_shared_predicates: bool = False
+    single_root: str | None = None
+    root_override: dict[str, str] | None = None
+    join_tree_edges: tuple[tuple[str, str], ...] | None = None
+    workers: int = 1
+    #: ``"python"`` (specialised Python over the trie runtime) or ``"c"``
+    #: (generated C compiled with gcc, per-group fallback to Python when a
+    #: plan uses carried blocks or non-integer keys).
+    backend: str = "python"
+
+
+@dataclass
+class CompiledBatch:
+    """All artefacts of compiling one batch (inspectable, reusable)."""
+
+    batch: QueryBatch
+    folded: QueryBatch
+    tree: JoinTree
+    roots: dict[str, str]
+    view_plan: ViewPlan
+    group_plan: GroupPlan
+    orders: list[GroupOrder]
+    plans: list[MultiOutputPlan]
+    code: list[CompiledGroup]
+    functions: dict[str, Function]
+    shared_predicates: tuple[Predicate, ...]
+    execution_order: list[int]
+    #: per-group native implementation (None = Python backend), plus the
+    #: shared library keeping the symbols alive.
+    c_groups: list = field(default_factory=list)
+    c_library: object | None = None
+
+    @property
+    def native_group_count(self) -> int:
+        """How many groups run on the C backend."""
+        return sum(1 for g in self.c_groups if g is not None)
+
+    @property
+    def num_views(self) -> int:
+        return self.view_plan.num_views
+
+    @property
+    def num_groups(self) -> int:
+        return self.group_plan.num_groups
+
+    def generated_source(self, group_index: int) -> str:
+        """The generated Python for one group — the demo's code tab."""
+        return self.code[group_index].source
+
+
+@dataclass
+class RunResult:
+    """Results of one batch run plus instrumentation."""
+
+    results: dict[str, QueryResult]
+    compiled: CompiledBatch
+    timings: dict[str, float]
+    group_times: dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, query_name: str) -> QueryResult:
+        return self.results[query_name]
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+
+class LMFAO:
+    """The engine. Construct once per database; run many batches.
+
+    Caches trie indexes (per node, attribute order and filter) and carries
+    them across runs — the decision-tree workload recompiles aggregates per
+    tree node but reuses every trie.
+    """
+
+    def __init__(self, db: Database, config: EngineConfig | None = None) -> None:
+        self.db = db
+        self.config = config or EngineConfig()
+        if self.config.join_tree_edges is not None:
+            self.tree = JoinTree(db.schema, list(self.config.join_tree_edges))
+        else:
+            self.tree = build_join_tree(db.schema)
+        self._trie_cache: dict[tuple, TrieIndex] = {}
+
+    # ------------------------------------------------------------------ compile
+    def compile(self, batch: QueryBatch) -> CompiledBatch:
+        """Run all three optimisation layers; returns executable artefacts."""
+        batch.validate_against(self.db.schema)
+        config = self.config
+        if config.backend not in {"python", "c"}:
+            raise PlanError(f"unknown backend {config.backend!r}")
+        functions = _collect_functions(batch)
+
+        shared: tuple[Predicate, ...] = ()
+        if config.push_shared_predicates:
+            shared = batch.shared_predicates()
+        folded = _fold_predicates(batch, shared, functions)
+
+        roots = self._assign_roots(folded)
+        generator = ViewGenerator(
+            self.db, self.tree, merge_across_queries=config.merge_views
+        )
+        view_plan = generator.generate(folded, roots)
+        group_plan = build_groups(view_plan, multi_output=config.multi_output)
+
+        orders: list[GroupOrder] = []
+        plans: list[MultiOutputPlan] = []
+        code: list[CompiledGroup] = []
+        for group in group_plan.groups:
+            order = order_group(group, view_plan, self.db)
+            plan = decompose_group(group, order, factorize=config.factorize)
+            orders.append(order)
+            plans.append(plan)
+            code.append(generate_group(plan, share_terms=config.share_scan_terms))
+
+        c_groups: list = [None] * len(plans)
+        c_library = None
+        if config.backend == "c":
+            c_groups, c_library = self._compile_native(plans)
+
+        execution_order = _topological_order(group_plan)
+        return CompiledBatch(
+            batch=batch,
+            folded=folded,
+            tree=self.tree,
+            roots=roots,
+            view_plan=view_plan,
+            group_plan=group_plan,
+            orders=orders,
+            plans=plans,
+            code=code,
+            functions=functions,
+            shared_predicates=shared,
+            execution_order=execution_order,
+            c_groups=c_groups,
+            c_library=c_library,
+        )
+
+    def _compile_native(self, plans: list[MultiOutputPlan]):
+        """Lower supported plans to C; unsupported ones stay on Python."""
+        from repro.core import cbackend
+
+        if not cbackend.gcc_available():
+            raise PlanError("backend='c' requires gcc on PATH")
+        kinds = {
+            attr: self.db.schema.attribute_kind(attr).value
+            for attr in self.db.schema.all_attributes
+        }
+        c_groups: list = [None] * len(plans)
+        native = []
+        for i, plan in enumerate(plans):
+            if not cbackend.supports_plan(plan, kinds):
+                continue
+            symbol = f"lmfao_run_g{i}"
+            source, args = cbackend.generate_c_source(plan, symbol)
+            group = cbackend.CCompiledGroup(
+                plan=plan, symbol=symbol, args=args, source=source
+            )
+            c_groups[i] = group
+            native.append(group)
+        library = None
+        if native:
+            library = cbackend.CBackendLibrary()
+            library.compile(native)
+        return c_groups, library
+
+    # --------------------------------------------------------------------- run
+    def run(self, batch: QueryBatch) -> RunResult:
+        """Compile (if needed) and execute a batch."""
+        watch = Stopwatch()
+        with watch.lap("compile"):
+            compiled = self.compile(batch)
+        return self.execute(compiled, watch=watch)
+
+    def execute(self, compiled: CompiledBatch, watch: Stopwatch | None = None) -> RunResult:
+        """Execute an already compiled batch."""
+        watch = watch or Stopwatch()
+        group_times: dict[str, float] = {}
+        view_data: dict[str, dict] = {}
+        view_group_by = {
+            name: view.group_by for name, view in compiled.view_plan.views.items()
+        }
+        query_raw: dict[str, dict] = {}
+
+        def run_group(index: int) -> None:
+            group = compiled.group_plan.groups[index]
+            plan = compiled.plans[index]
+            start = time.perf_counter()
+            trie = self._trie(plan.node, plan.order, compiled.shared_predicates)
+            native = compiled.c_groups[index] if compiled.c_groups else None
+            if native is not None:
+                outputs = native.execute(
+                    trie, view_data, view_group_by, compiled.functions
+                )
+            else:
+                env = GroupEnvironment(
+                    plan=plan,
+                    trie=trie,
+                    view_data=view_data,
+                    view_group_by=view_group_by,
+                    functions=compiled.functions,
+                )
+                outputs = compiled.code[index](env)
+            for emission in plan.emissions:
+                if emission.kind == "view":
+                    view_data[emission.artifact] = outputs[emission.artifact]
+                else:
+                    query_raw[emission.artifact] = outputs[emission.artifact]
+            group_times[group.name] = time.perf_counter() - start
+
+        with watch.lap("execute"):
+            if self.config.workers > 1:
+                self._run_parallel(compiled, run_group)
+            else:
+                for index in compiled.execution_order:
+                    run_group(index)
+
+        with watch.lap("collect"):
+            results = {
+                query.name: _to_query_result(query, query_raw[query.name])
+                for query in compiled.batch
+            }
+        return RunResult(
+            results=results,
+            compiled=compiled,
+            timings=watch.laps,
+            group_times=group_times,
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def _assign_roots(self, batch: QueryBatch) -> dict[str, str]:
+        config = self.config
+        if config.single_root is not None:
+            root = config.single_root
+            if root == "auto":
+                root = max(self.tree.nodes, key=self.db.cardinality)
+            if root not in self.tree.nodes:
+                raise PlanError(f"single_root {root!r} is not a join-tree node")
+            return {query.name: root for query in batch}
+        return assign_roots(self.db, self.tree, batch, override=config.root_override)
+
+    def _trie(
+        self, node: str, order: tuple[str, ...], shared: tuple[Predicate, ...]
+    ) -> TrieIndex:
+        local = tuple(
+            p for p in shared if p.attribute in self.db.schema.relation(node).attribute_names
+        )
+        key = (node, order, tuple(p.signature for p in local))
+        trie = self._trie_cache.get(key)
+        if trie is None:
+            relation = self.db.relation(node)
+            if local:
+                mask = np.ones(relation.num_rows, dtype=bool)
+                for pred in local:
+                    mask &= pred.evaluate(relation.column(pred.attribute))
+                relation = relation.filter(mask)
+            trie = TrieIndex(relation, order)
+            self._trie_cache[key] = trie
+        return trie
+
+    def _run_parallel(self, compiled: CompiledBatch, run_group) -> None:
+        remaining = {
+            i: set(compiled.group_plan.dependencies.get(i, ()))
+            for i in range(compiled.num_groups)
+        }
+        done: set[int] = set()
+        with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
+            pending: dict = {}
+            while len(done) < compiled.num_groups:
+                ready = [
+                    i
+                    for i, deps in remaining.items()
+                    if i not in done and i not in pending and deps <= done
+                ]
+                for index in ready:
+                    pending[index] = pool.submit(run_group, index)
+                if not pending:
+                    raise PlanError("group dependency graph is not schedulable")
+                for index, future in list(pending.items()):
+                    if future.done():
+                        future.result()
+                        done.add(index)
+                        del pending[index]
+                time.sleep(0)
+
+
+# ------------------------------------------------------------------ module fns
+
+
+def _collect_functions(batch: QueryBatch) -> dict[str, Function]:
+    functions: dict[str, Function] = {}
+    for query in batch:
+        for aggregate in query.aggregates:
+            for factor in aggregate.factors:
+                functions.setdefault(factor.function.name, factor.function)
+    return functions
+
+
+def _fold_predicates(
+    batch: QueryBatch,
+    shared: tuple[Predicate, ...],
+    functions: dict[str, Function],
+) -> QueryBatch:
+    """Fold non-shared WHERE predicates into indicator factors."""
+    shared_sigs = {p.signature for p in shared}
+    queries: list[Query] = []
+    for query in batch:
+        remaining = [p for p in query.where if p.signature not in shared_sigs]
+        if not remaining:
+            queries.append(
+                query if not query.where else replace(query, where=tuple())
+            )
+            continue
+        indicator_factors = []
+        for predicate in remaining:
+            fn = predicate.as_indicator()
+            fn = functions.setdefault(fn.name, fn)
+            indicator_factors.append(Factor(predicate.attribute, fn))
+        new_aggs = tuple(
+            Aggregate(agg.factors + tuple(indicator_factors))
+            for agg in query.aggregates
+        )
+        queries.append(replace(query, aggregates=new_aggs, where=()))
+    return QueryBatch(queries)
+
+
+def _topological_order(group_plan: GroupPlan) -> list[int]:
+    indegree = {
+        i: len(group_plan.dependencies.get(i, ())) for i in range(group_plan.num_groups)
+    }
+    consumers: dict[int, list[int]] = {}
+    for consumer, producers in group_plan.dependencies.items():
+        for producer in producers:
+            consumers.setdefault(producer, []).append(consumer)
+    ready = sorted(i for i, d in indegree.items() if d == 0)
+    order: list[int] = []
+    while ready:
+        index = ready.pop(0)
+        order.append(index)
+        for consumer in consumers.get(index, ()):
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                ready.append(consumer)
+    if len(order) != group_plan.num_groups:
+        raise PlanError("cyclic group dependencies — grouping bug")
+    return order
+
+
+def _to_query_result(query: Query, raw: dict) -> QueryResult:
+    groups: dict[tuple, tuple[float, ...]] = {}
+    for key, values in raw.items():
+        if not isinstance(key, tuple):
+            key = (key,)
+        groups[key] = tuple(float(v) for v in values)
+    return QueryResult(query=query, groups=groups)

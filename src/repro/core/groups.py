@@ -1,0 +1,191 @@
+"""The view-grouping step of the multi-output optimisation layer.
+
+LMFAO "groups the views and output queries going out of a node such that
+they can be computed together over the join of the relation at the node and
+of its incoming views" (paper §2). Grouping must keep the **group dependency
+graph acyclic**: an artifact that (transitively) consumes a view produced at
+its own node cannot share a group with that view — in Figure 2 this is why
+``V_I→S`` (group 5) and ``Q3`` (group 7) are separate groups at ``Items``.
+
+The algorithm processes artifacts in dependency order and greedily adds each
+to the earliest-created group at its node that does not create a cycle,
+reproducing the seven groups of Figure 2 on the paper's example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from repro.core.viewgen import ViewPlan
+from repro.core.views import Output, View
+from repro.util.errors import PlanError
+
+Artifact = Union[View, Output]
+
+
+@dataclass
+class Group:
+    """Views and outputs computed in one pass over one node's relation."""
+
+    index: int
+    node: str
+    views: list[View] = field(default_factory=list)
+    outputs: list[Output] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"G{self.index}_{self.node}"
+
+    @property
+    def artifacts(self) -> list[Artifact]:
+        return list(self.views) + list(self.outputs)
+
+    @property
+    def artifact_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.artifacts)
+
+    def incoming_view_names(self) -> tuple[str, ...]:
+        """Names of the views any artifact of this group references."""
+        seen: dict[str, None] = {}
+        for artifact in self.artifacts:
+            for aggregate in artifact.aggregates:
+                for ref in aggregate.refs:
+                    seen.setdefault(ref.view, None)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return f"Group({self.name}: {', '.join(self.artifact_names)})"
+
+
+@dataclass
+class GroupPlan:
+    """The grouped batch: groups in a valid execution (topological) order."""
+
+    groups: list[Group]
+    #: group index → indices of groups it consumes views from.
+    dependencies: dict[int, tuple[int, ...]]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of_view(self, view_name: str) -> Group:
+        for group in self.groups:
+            if any(v.name == view_name for v in group.views):
+                return group
+        raise PlanError(f"no group produces view {view_name!r}")
+
+    def dependency_edges(self) -> tuple[tuple[str, str], ...]:
+        """(producer group, consumer group) name pairs — the Figure 2 DAG."""
+        edges = []
+        for consumer, producers in self.dependencies.items():
+            for producer in producers:
+                edges.append(
+                    (self.groups[producer].name, self.groups[consumer].name)
+                )
+        return tuple(edges)
+
+
+def _artifact_deps(artifact: Artifact) -> tuple[str, ...]:
+    seen: dict[str, None] = {}
+    for aggregate in artifact.aggregates:
+        for ref in aggregate.refs:
+            seen.setdefault(ref.view, None)
+    return tuple(seen)
+
+
+def _toposort(artifacts: list[Artifact]) -> list[Artifact]:
+    """Order artifacts so producers precede consumers (stable)."""
+    producer: dict[str, Artifact] = {
+        a.name: a for a in artifacts if isinstance(a, View)
+    }
+    order: list[Artifact] = []
+    state: dict[str, int] = {}  # 0=visiting, 1=done
+
+    def visit(artifact: Artifact) -> None:
+        mark = state.get(artifact.name)
+        if mark == 1:
+            return
+        if mark == 0:
+            raise PlanError(f"cyclic view dependency through {artifact.name}")
+        state[artifact.name] = 0
+        for dep in _artifact_deps(artifact):
+            dep_artifact = producer.get(dep)
+            if dep_artifact is None:
+                raise PlanError(f"{artifact.name} references unknown view {dep!r}")
+            visit(dep_artifact)
+        state[artifact.name] = 1
+        order.append(artifact)
+
+    for artifact in artifacts:
+        visit(artifact)
+    return order
+
+
+def build_groups(view_plan: ViewPlan, multi_output: bool = True) -> GroupPlan:
+    """Partition views and outputs into multi-output groups.
+
+    With ``multi_output=False`` every artifact becomes its own group — the
+    ablation baseline in which no scan is shared.
+    """
+    artifacts: list[Artifact] = list(view_plan.views.values()) + list(view_plan.outputs)
+    ordered = _toposort(artifacts)
+
+    groups: list[Group] = []
+    group_of: dict[str, int] = {}  # view name -> producing group index
+    # adjacency: producer group -> consumer groups (for cycle checks)
+    consumers: dict[int, set[int]] = {}
+
+    def reaches(start: int, targets: set[int]) -> bool:
+        if not targets:
+            return False
+        stack = [start]
+        seen = {start}
+        while stack:
+            current = stack.pop()
+            if current in targets:
+                return True
+            for nxt in consumers.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def home(artifact: Artifact) -> str:
+        return artifact.source if isinstance(artifact, View) else artifact.node
+
+    for artifact in ordered:
+        node = home(artifact)
+        dep_groups = {group_of[d] for d in _artifact_deps(artifact)}
+        chosen: int | None = None
+        if multi_output:
+            for group in groups:
+                if group.node != node:
+                    continue
+                if group.index in dep_groups:
+                    continue  # would consume a view produced in the same pass
+                if reaches(group.index, dep_groups):
+                    continue  # adding would close a cycle
+                chosen = group.index
+                break
+        if chosen is None:
+            chosen = len(groups)
+            groups.append(Group(index=chosen, node=node))
+            consumers.setdefault(chosen, set())
+        group = groups[chosen]
+        if isinstance(artifact, View):
+            group.views.append(artifact)
+            group_of[artifact.name] = chosen
+        else:
+            group.outputs.append(artifact)
+        for dep in dep_groups:
+            consumers.setdefault(dep, set()).add(chosen)
+
+    dependencies = {
+        g.index: tuple(
+            sorted({group_of[d] for a in g.artifacts for d in _artifact_deps(a)})
+        )
+        for g in groups
+    }
+    return GroupPlan(groups=groups, dependencies=dependencies)

@@ -1,0 +1,108 @@
+"""Attribute-order selection for multi-output groups.
+
+LMFAO "constructs a total order on the join attributes of the node relation"
+(paper §2); relation and incoming views are then organised as tries along
+that order. The heuristic here ranks an attribute by how many incoming
+views and outgoing artifacts key on it, breaking ties towards larger
+domains — on the paper's Group 6 this yields exactly Figure 3's order
+``item, date, store`` (all three attributes tie on use count; the domains
+order them).
+
+Incoming views whose group-by includes attributes not local to the node
+become :class:`CarriedBlock` entries, bound at the relation level where
+their local key completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.groups import Group
+from repro.core.plan import CarriedBlock, RelationLevel, ViewBinding
+from repro.core.viewgen import ViewPlan
+from repro.data.catalog import Database
+from repro.util.errors import PlanError
+
+
+@dataclass
+class GroupOrder:
+    """The chosen level layout and view bindings for one group."""
+
+    relation_levels: tuple[RelationLevel, ...]
+    carried_blocks: tuple[CarriedBlock, ...]
+    bindings: tuple[ViewBinding, ...]
+    #: relation attribute -> level index (local attributes only).
+    level_of: dict[str, int]
+
+
+def order_group(group: Group, view_plan: ViewPlan, db: Database) -> GroupOrder:
+    """Choose the attribute order and view bindings for ``group``."""
+    node_attrs = set(view_plan.tree.attributes(group.node))
+    incoming = [view_plan.views[name] for name in group.incoming_view_names()]
+
+    # ---- split every incoming view's group-by into local key / carried ----
+    keys: dict[str, tuple[str, ...]] = {}
+    carried: dict[str, tuple[str, ...]] = {}
+    for view in incoming:
+        keys[view.name] = tuple(a for a in view.group_by if a in node_attrs)
+        carried[view.name] = tuple(a for a in view.group_by if a not in node_attrs)
+        if not keys[view.name]:
+            raise PlanError(
+                f"incoming view {view.name} shares no attribute with {group.node}"
+            )
+
+    # ---- interesting relation attributes: view keys + local group-bys ----
+    uses: dict[str, int] = {}
+    for view in incoming:
+        for attr in keys[view.name]:
+            uses[attr] = uses.get(attr, 0) + 1
+    for artifact in group.artifacts:
+        for attr in artifact.group_by:
+            if attr in node_attrs:
+                uses[attr] = uses.get(attr, 0) + 1
+
+    ordered_attrs = sorted(uses, key=lambda a: (-uses[a], -db.domain_size(a), a))
+    relation_levels = tuple(
+        RelationLevel(index=i, attr=attr) for i, attr in enumerate(ordered_attrs)
+    )
+    level_of = {lvl.attr: lvl.index for lvl in relation_levels}
+
+    # ---- carried blocks: one per carrying view, bound where its key ends ----
+    def bind_level(view_name: str) -> int:
+        return max(level_of[a] for a in keys[view_name])
+
+    carrying = sorted(
+        (v for v in incoming if carried[v.name]),
+        key=lambda v: (bind_level(v.name), v.name),
+    )
+    carried_blocks = tuple(
+        CarriedBlock(
+            index=i,
+            view=view.name,
+            key=keys[view.name],
+            carried=carried[view.name],
+            bind_level=bind_level(view.name),
+        )
+        for i, view in enumerate(carrying)
+    )
+    block_of = {cb.view: cb.index for cb in carried_blocks}
+
+    bindings = tuple(
+        ViewBinding(
+            view=view.name,
+            num_aggregates=view.num_aggregates,
+            key=keys[view.name],
+            key_levels=tuple(level_of[a] for a in keys[view.name]),
+            bind_level=bind_level(view.name),
+            carried=carried[view.name],
+            block=block_of.get(view.name),
+        )
+        for view in incoming
+    )
+
+    return GroupOrder(
+        relation_levels=relation_levels,
+        carried_blocks=carried_blocks,
+        bindings=bindings,
+        level_of=level_of,
+    )

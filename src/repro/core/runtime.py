@@ -1,0 +1,122 @@
+"""Runtime preparation shared by the code generator and the interpreter.
+
+Given a :class:`MultiOutputPlan`, a :class:`TrieIndex` over the group's
+node relation and the already-computed incoming view contents, this module
+builds the *environment* the plan executes against:
+
+* trie level arrays as Python lists;
+* per-level factor value arrays (``f`` applied to distinct level values);
+* prefix-sum registers for row-factor products;
+* incoming view bindings reshaped to the consumer's key layout
+  (scalar views: ``key → [aggs]``; carried views:
+  ``key → [(carried_values, [aggs]), ...]``).
+
+View contents are dictionaries ``group_by_key → list_of_aggregate_values``
+where the key is a scalar for single-attribute group-bys and a tuple (in the
+view's canonical group-by order) otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.plan import MultiOutputPlan, ViewBinding
+from repro.data.relation import Relation
+from repro.data.trie import TrieIndex
+from repro.query.functions import Function
+from repro.util.errors import PlanError
+
+ViewData = dict
+
+
+def _product_signature(product: tuple[tuple[str, str], ...]) -> str:
+    return "*".join(f"{func}({attr})" for attr, func in product)
+
+
+def _product_column(
+    product: tuple[tuple[str, str], ...], functions: Mapping[str, Function]
+) -> Callable[[Relation], np.ndarray]:
+    def compute(relation: Relation) -> np.ndarray:
+        result: np.ndarray | None = None
+        for attr, func_name in product:
+            col = functions[func_name](relation.column(attr))
+            result = col if result is None else result * col
+        assert result is not None
+        return result
+
+    return compute
+
+
+def reshape_binding(binding: ViewBinding, view_group_by: tuple[str, ...], data: ViewData) -> dict:
+    """Re-key view contents for one consumer binding.
+
+    ``data`` is keyed by the producer's canonical group-by. Scalar bindings
+    whose key order equals the producer's group-by are returned as-is;
+    carried bindings are grouped into entry lists per local key.
+    """
+    if not binding.is_carried:
+        if binding.key == view_group_by:
+            return data
+        # Same attribute set, different order (cannot happen while both are
+        # name-sorted, but stay correct if conventions diverge).
+        positions = [view_group_by.index(a) for a in binding.key]
+        reshaped: dict = {}
+        for key, aggs in data.items():
+            full = key if isinstance(key, tuple) else (key,)
+            new_key = tuple(full[p] for p in positions)
+            reshaped[new_key[0] if len(new_key) == 1 else new_key] = aggs
+        return reshaped
+
+    key_positions = [view_group_by.index(a) for a in binding.key]
+    carried_positions = [view_group_by.index(a) for a in binding.carried]
+    grouped: dict = {}
+    for key, aggs in data.items():
+        full = key if isinstance(key, tuple) else (key,)
+        local = tuple(full[p] for p in key_positions)
+        local_key = local[0] if len(local) == 1 else local
+        carried_vals = tuple(full[p] for p in carried_positions)
+        grouped.setdefault(local_key, []).append((carried_vals, aggs))
+    return grouped
+
+
+class GroupEnvironment:
+    """The fully prepared inputs for executing one group plan."""
+
+    def __init__(
+        self,
+        plan: MultiOutputPlan,
+        trie: TrieIndex,
+        view_data: Mapping[str, ViewData],
+        view_group_by: Mapping[str, tuple[str, ...]],
+        functions: Mapping[str, Function],
+    ) -> None:
+        if trie.order != plan.order:
+            raise PlanError(
+                f"trie order {trie.order} does not match plan order {plan.order}"
+            )
+        self.plan = plan
+        self.nrows = trie.num_rows
+        self.levels = [trie.level_lists(k) for k in range(len(plan.relation_levels))]
+        self.farrs: dict[tuple[int, str, str], list] = {}
+        for level, attr, func_name in plan.level_functions:
+            func = functions.get(func_name)
+            if func is None:
+                raise PlanError(f"no runtime function registered for {func_name!r}")
+            self.farrs[(level, attr, func_name)] = trie.level_function_values(
+                level, f"{func_name}({attr})", func
+            )
+        self.psums: dict[tuple, list] = {}
+        for product in plan.row_products:
+            self.psums[product] = trie.prefix_sum_list(
+                _product_signature(product), _product_column(product, functions)
+            )
+        self.bindings: dict[str, dict] = {}
+        for binding in plan.bindings:
+            data = view_data.get(binding.view)
+            if data is None:
+                raise PlanError(f"missing incoming view data for {binding.view}")
+            self.bindings[binding.view] = reshape_binding(
+                binding, view_group_by[binding.view], data
+            )

@@ -1,0 +1,179 @@
+"""The view-generation layer (paper Figure 1, left box).
+
+Takes the query batch, the join tree and the per-query roots, and produces
+the merged directional views plus one :class:`Output` per query:
+
+* **aggregate pushdown** — each query is decomposed top-down from its root
+  into one view per join-tree edge below the root; every factor of the
+  query's sum-product is applied at the *highest* node (closest to the
+  query's root) whose relation contains the factor's attribute;
+* **view merging** — views with the same edge, direction and group-by
+  attributes are merged across queries; structurally equal aggregates
+  inside a merged view are deduplicated, so "several edges in the join tree
+  only have one view, which is used for all three queries" (paper §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.catalog import Database
+from repro.jointree.jointree import JoinTree
+from repro.query.aggregates import Factor
+from repro.query.batch import QueryBatch
+from repro.query.query import Query
+from repro.core.views import AggRef, Output, View, ViewAggregate
+from repro.util.errors import PlanError
+
+
+@dataclass
+class ViewPlan:
+    """Everything the view-generation layer hands to multi-output grouping."""
+
+    tree: JoinTree
+    roots: dict[str, str]
+    views: dict[str, View] = field(default_factory=dict)
+    outputs: list[Output] = field(default_factory=list)
+    #: view name → names of the queries whose decomposition uses it.
+    queries_using: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def views_on_edge(self, source: str, target: str) -> list[View]:
+        """All merged views computed at ``source`` for ``target``."""
+        return [
+            v for v in self.views.values() if v.source == source and v.target == target
+        ]
+
+    def incoming_views(self, node: str) -> list[View]:
+        """All merged views consumed at ``node``."""
+        return [v for v in self.views.values() if v.target == node]
+
+    @property
+    def num_views(self) -> int:
+        return len(self.views)
+
+    def edge_view_counts(self) -> dict[tuple[str, str], int]:
+        """Directed edge → number of merged views (the demo UI arrow widths)."""
+        counts: dict[tuple[str, str], int] = {}
+        for view in self.views.values():
+            key = (view.source, view.target)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+class ViewGenerator:
+    """Decomposes a batch into merged views along one shared join tree."""
+
+    def __init__(
+        self,
+        db: Database,
+        tree: JoinTree,
+        merge_across_queries: bool = True,
+    ) -> None:
+        self._db = db
+        self._tree = tree
+        self._merge = merge_across_queries
+        self._registry: dict[tuple, View] = {}
+        self._uses: dict[str, list[str]] = {}
+        self._counter = 0
+
+    def generate(self, batch: QueryBatch, roots: dict[str, str]) -> ViewPlan:
+        """Run pushdown + merging for every query; returns the view plan."""
+        plan = ViewPlan(tree=self._tree, roots=dict(roots))
+        for query in batch:
+            root = roots[query.name]
+            plan.outputs.append(self._decompose(query, root))
+        plan.views = {
+            view.name: view for view in self._registry.values()
+        }
+        plan.queries_using = {
+            name: tuple(dict.fromkeys(users)) for name, users in self._uses.items()
+        }
+        return plan
+
+    # ------------------------------------------------------------------ internals
+    def _decompose(self, query: Query, root: str) -> Output:
+        tree = self._tree
+        parents = tree.rooted_parents(root)
+        children: dict[str, list[str]] = {node: [] for node in tree.nodes}
+        for node, parent in parents.items():
+            if parent is not None:
+                children[parent].append(node)
+        depth = self._depths(root)
+
+        # Assign every factor occurrence to the highest node containing its
+        # attribute (unique by the running-intersection property).
+        factor_home: list[dict[str, list[Factor]]] = []
+        for agg in query.aggregates:
+            homes: dict[str, list[Factor]] = {}
+            for factor in agg.factors:
+                node = self._highest_node(factor.attribute, depth)
+                homes.setdefault(node, []).append(factor)
+            factor_home.append(homes)
+
+        gb_set = set(query.group_by)
+        # refs[agg_index][child] = AggRef into the (merged) child view.
+        refs: list[dict[str, AggRef]] = [{} for _ in query.aggregates]
+
+        for node in tree.topological_from_leaves(root):
+            parent = parents[node]
+            if parent is None:
+                continue  # the root produces the Output below
+            separator = tree.separator(node, parent)
+            carried = gb_set & set(tree.subtree_attributes(node, parent))
+            group_by = tuple(sorted(set(separator) | carried))
+            view = self._view_for(query, node, parent, group_by)
+            for i in range(len(query.aggregates)):
+                aggregate = ViewAggregate(
+                    factors=tuple(factor_home[i].get(node, ())),
+                    refs=tuple(refs[i][child] for child in children[node]),
+                )
+                index = view.add_aggregate(aggregate)
+                refs[i][node] = view.ref(index)
+
+        output_aggs = [
+            ViewAggregate(
+                factors=tuple(factor_home[i].get(root, ())),
+                refs=tuple(refs[i][child] for child in children[root]),
+            )
+            for i in range(len(query.aggregates))
+        ]
+        return Output(query=query, node=root, aggregates=output_aggs)
+
+    def _depths(self, root: str) -> dict[str, int]:
+        depth = {root: 0}
+        frontier = [root]
+        while frontier:
+            nxt: list[str] = []
+            for node in frontier:
+                for nbr in self._tree.neighbors(node):
+                    if nbr not in depth:
+                        depth[nbr] = depth[node] + 1
+                        nxt.append(nbr)
+            frontier = nxt
+        return depth
+
+    def _highest_node(self, attribute: str, depth: dict[str, int]) -> str:
+        holders = self._db.schema.relations_with(attribute)
+        if not holders:
+            raise PlanError(f"attribute {attribute!r} not in any relation")
+        return min(holders, key=lambda node: depth[node])
+
+    def _view_for(
+        self, query: Query, source: str, target: str, group_by: tuple[str, ...]
+    ) -> View:
+        key: tuple = (source, target, group_by)
+        if not self._merge:
+            key = key + (query.name,)
+        view = self._registry.get(key)
+        if view is None:
+            view = View(
+                name=f"V{self._counter}_{source}_{target}",
+                source=source,
+                target=target,
+                group_by=group_by,
+            )
+            self._counter += 1
+            self._registry[key] = view
+            self._uses[view.name] = []
+        self._uses[view.name].append(query.name)
+        return view

@@ -1,0 +1,137 @@
+"""Directional views: the unit of LMFAO's shared query decomposition.
+
+A view ``V_{n→p}`` sits on the join-tree edge from ``n`` (source) to ``p``
+(target) and aggregates the join of the subtree rooted at ``n`` (away from
+``p``), grouped by the edge separator plus any group-by attributes that must
+be carried towards some query's root.
+
+A view's aggregates are **compositional**: each is a product of factors
+local to ``n`` and references to aggregates of the views incoming to ``n``
+from its own children. Structural signatures over this representation are
+what make view merging (same edge, same direction, same group-by) and
+aggregate deduplication cheap and exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.aggregates import Factor
+from repro.query.query import Query
+from repro.util.errors import PlanError
+
+
+@dataclass(frozen=True)
+class AggRef:
+    """Reference to aggregate ``index`` of the (merged) view named ``view``."""
+
+    view: str
+    index: int
+
+
+@dataclass(frozen=True)
+class ViewAggregate:
+    """One aggregate of a view or output: ``SUM(∏ factors × ∏ child refs)``.
+
+    ``factors`` are the query factors assigned to the home node;
+    ``refs`` point into the incoming views of the home node (one per child
+    subtree — every child contributes at least its join multiplicity).
+    Both are kept in canonical order so equal products have equal
+    signatures.
+    """
+
+    factors: tuple[Factor, ...] = ()
+    refs: tuple[AggRef, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "factors", tuple(sorted(self.factors, key=lambda f: f.signature))
+        )
+        object.__setattr__(
+            self, "refs", tuple(sorted(self.refs, key=lambda r: (r.view, r.index)))
+        )
+
+    @property
+    def signature(self) -> tuple:
+        """Structural identity used for aggregate deduplication."""
+        return (
+            tuple(f.signature for f in self.factors),
+            tuple((r.view, r.index) for r in self.refs),
+        )
+
+
+@dataclass
+class View:
+    """A (possibly merged) directional view on a join-tree edge.
+
+    Attributes
+    ----------
+    name:
+        Unique name, e.g. ``V0_Sales_Items``.
+    source, target:
+        The edge and direction: computed at ``source``, consumed at
+        ``target``.
+    group_by:
+        Canonical (name-sorted) group-by attributes. Contains the edge
+        separator plus carried query group-by attributes.
+    aggregates:
+        Deduplicated aggregates; several queries may share one slot.
+    """
+
+    name: str
+    source: str
+    target: str
+    group_by: tuple[str, ...]
+    aggregates: list[ViewAggregate] = field(default_factory=list)
+    _index: dict[tuple, int] = field(default_factory=dict, repr=False)
+
+    def add_aggregate(self, aggregate: ViewAggregate) -> int:
+        """Add (or find) an aggregate; returns its slot index."""
+        sig = aggregate.signature
+        found = self._index.get(sig)
+        if found is not None:
+            return found
+        self.aggregates.append(aggregate)
+        self._index[sig] = len(self.aggregates) - 1
+        return len(self.aggregates) - 1
+
+    @property
+    def num_aggregates(self) -> int:
+        return len(self.aggregates)
+
+    def ref(self, index: int) -> AggRef:
+        """An :class:`AggRef` to slot ``index`` of this view."""
+        if not 0 <= index < len(self.aggregates):
+            raise PlanError(f"view {self.name} has no aggregate {index}")
+        return AggRef(self.name, index)
+
+    def __repr__(self) -> str:
+        gb = ",".join(self.group_by)
+        return (
+            f"View({self.name}: {self.source}->{self.target}, "
+            f"gb=[{gb}], aggs={len(self.aggregates)})"
+        )
+
+
+@dataclass
+class Output:
+    """A query's final computation at its root node.
+
+    One :class:`ViewAggregate` per query aggregate, in query order; results
+    are grouped by the query's declared ``group_by`` (order preserved).
+    """
+
+    query: Query
+    node: str
+    aggregates: list[ViewAggregate]
+
+    @property
+    def name(self) -> str:
+        return self.query.name
+
+    @property
+    def group_by(self) -> tuple[str, ...]:
+        return self.query.group_by
+
+    def __repr__(self) -> str:
+        return f"Output({self.name}@{self.node}, aggs={len(self.aggregates)})"

@@ -1,0 +1,29 @@
+"""In-memory column-store substrate.
+
+This package provides the relational storage layer the LMFAO engine runs on:
+typed schemas, numpy-backed relations, natural joins, the CSR trie index used
+by multi-output plans, and synthetic generators for the paper's two
+benchmark datasets (Favorita and Retailer).
+"""
+
+from repro.data.catalog import Database
+from repro.data.generators import favorita, retailer
+from repro.data.join import hash_join, natural_join
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.data.trie import TrieIndex
+from repro.data.types import AttributeKind
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Database",
+    "DatabaseSchema",
+    "Relation",
+    "RelationSchema",
+    "TrieIndex",
+    "favorita",
+    "hash_join",
+    "natural_join",
+    "retailer",
+]

@@ -1,0 +1,93 @@
+"""The database catalog: relation instances plus cardinality statistics.
+
+LMFAO's view generation layer consumes "the database schema and cardinality
+constraints (e.g., sizes of relations and attribute domains)" (paper,
+Section 2). :class:`Database` carries both, with statistics computed lazily
+and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.data.join import natural_join
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema
+from repro.util.errors import SchemaError
+
+
+class Database:
+    """A set of relation instances conforming to a :class:`DatabaseSchema`."""
+
+    def __init__(self, relations: Iterable[Relation], name: str = "db") -> None:
+        rels = list(relations)
+        self.schema = DatabaseSchema([r.schema for r in rels], name=name)
+        self._relations: dict[str, Relation] = {r.name: r for r in rels}
+        self._distinct_cache: dict[str, int] = {}
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        return tuple(self._relations.values())
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation instance by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r}") from None
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """A new database with one relation replaced (same name required)."""
+        if relation.name not in self._relations:
+            raise SchemaError(f"no relation named {relation.name!r} to replace")
+        rels = [relation if r.name == relation.name else r for r in self.relations]
+        return Database(rels, name=self.name)
+
+    # ---------------------------------------------------------------- statistics
+    def cardinality(self, relation_name: str) -> int:
+        """Number of tuples in a relation."""
+        return self.relation(relation_name).num_rows
+
+    def total_tuples(self) -> int:
+        """Total tuples across all relations."""
+        return sum(r.num_rows for r in self.relations)
+
+    def domain_size(self, attr_name: str) -> int:
+        """Distinct values of an attribute across every relation carrying it.
+
+        This is the "attribute domain" cardinality constraint used by the
+        root-assignment heuristic and the attribute-order heuristic.
+        """
+        cached = self._distinct_cache.get(attr_name)
+        if cached is not None:
+            return cached
+        holders = self.schema.relations_with(attr_name)
+        if not holders:
+            raise SchemaError(f"no attribute named {attr_name!r}")
+        size = max(self.relation(r).distinct_count(attr_name) for r in holders)
+        self._distinct_cache[attr_name] = size
+        return size
+
+    # ----------------------------------------------------------------- the join
+    def materialize_join(self, output_name: str = "D") -> Relation:
+        """The natural join of all relations — the dataset ``D`` of the paper.
+
+        Only baselines and tests call this; the engine never does.
+        """
+        return natural_join(list(self.relations), output_name=output_name)
+
+    def summary(self) -> Mapping[str, int]:
+        """Relation name → cardinality, for reports."""
+        return {r.name: r.num_rows for r in self.relations}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{r.name}:{r.num_rows}" for r in self.relations)
+        return f"Database[{self.name}]({parts})"

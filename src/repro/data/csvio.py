@@ -1,0 +1,95 @@
+"""CSV persistence for relations and databases.
+
+The Favorita and Retailer generators are deterministic, but examples may
+still want to cache generated data across runs; this module gives them a
+plain-text, dependency-free format (one ``<relation>.csv`` per relation plus
+a ``schema.txt`` manifest).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.catalog import Database
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, RelationSchema
+from repro.data.types import AttributeKind
+from repro.util.errors import SchemaError
+
+_MANIFEST = "schema.txt"
+
+
+def save_relation(relation: Relation, path: str | Path) -> None:
+    """Write one relation to a CSV file with a typed header.
+
+    The header encodes kinds as ``name:c`` (categorical) / ``name:f``
+    (continuous) so a round-trip restores the exact schema.
+    """
+    path = Path(path)
+    header = [
+        f"{attr.name}:{'c' if attr.kind is AttributeKind.CATEGORICAL else 'f'}"
+        for attr in relation.schema.attributes
+    ]
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        cols = [relation.column(n) for n in relation.attribute_names]
+        for i in range(relation.num_rows):
+            writer.writerow([col[i] for col in cols])
+
+
+def load_relation(path: str | Path, name: str | None = None) -> Relation:
+    """Read a relation written by :func:`save_relation`."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty") from None
+        attrs = []
+        for field in header:
+            attr_name, _, code = field.partition(":")
+            if code == "c":
+                attrs.append(Attribute.categorical(attr_name))
+            elif code == "f":
+                attrs.append(Attribute.continuous(attr_name))
+            else:
+                raise SchemaError(f"bad header field {field!r} in {path}")
+        schema = RelationSchema(name or path.stem, tuple(attrs))
+        raw: list[list[str]] = [row for row in reader if row]
+    columns: dict[str, np.ndarray] = {}
+    for i, attr in enumerate(schema.attributes):
+        text = [row[i] for row in raw]
+        if attr.kind is AttributeKind.CATEGORICAL:
+            columns[attr.name] = np.array([int(v) for v in text], dtype=np.int64)
+        else:
+            columns[attr.name] = np.array([float(v) for v in text], dtype=np.float64)
+    return Relation(schema, columns)
+
+
+def save_database(db: Database, directory: str | Path) -> None:
+    """Write every relation of ``db`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for rel in db.relations:
+        save_relation(rel, directory / f"{rel.name}.csv")
+    manifest = directory / _MANIFEST
+    manifest.write_text(
+        "\n".join([db.name] + [rel.name for rel in db.relations]) + "\n"
+    )
+
+
+def load_database(directory: str | Path) -> Database:
+    """Read a database written by :func:`save_database`."""
+    directory = Path(directory)
+    manifest = directory / _MANIFEST
+    if not manifest.exists():
+        raise SchemaError(f"{directory} has no {_MANIFEST}")
+    lines = [ln for ln in manifest.read_text().splitlines() if ln]
+    name, rel_names = lines[0], lines[1:]
+    relations = [load_relation(directory / f"{rn}.csv", name=rn) for rn in rel_names]
+    return Database(relations, name=name)

@@ -1,0 +1,103 @@
+"""Natural joins over column-stored relations.
+
+These operators serve the baselines (which materialise joins) and the test
+oracle. The LMFAO engine itself never materialises a join — that is the
+point of the paper — but its results are validated against these operators.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.util import stable_unique
+from repro.util.errors import SchemaError
+
+
+def hash_join(left: Relation, right: Relation, output_name: str = "join") -> Relation:
+    """Natural hash join of two relations.
+
+    Joins on all shared attribute names. With no shared attributes this is
+    the Cartesian product (used only by tests on tiny inputs).
+    """
+    shared = [a for a in left.attribute_names if a in set(right.attribute_names)]
+    for name in shared:
+        la = left.schema.attribute(name)
+        ra = right.schema.attribute(name)
+        if la.kind is not ra.kind:
+            raise SchemaError(f"join attribute {name!r} has mismatched kinds")
+
+    if not shared:
+        left_idx = np.repeat(np.arange(left.num_rows), right.num_rows)
+        right_idx = np.tile(np.arange(right.num_rows), left.num_rows)
+    else:
+        # Build hash table on the smaller side.
+        build, probe, swapped = (left, right, False) if left.num_rows <= right.num_rows else (
+            right,
+            left,
+            True,
+        )
+        table: dict[object, list[int]] = {}
+        build_cols = [build.column(n) for n in shared]
+        if len(shared) == 1:
+            keys_iter = build_cols[0].tolist()
+        else:
+            keys_iter = list(zip(*(c.tolist() for c in build_cols)))
+        for i, key in enumerate(keys_iter):
+            table.setdefault(key, []).append(i)
+
+        probe_cols = [probe.column(n) for n in shared]
+        if len(shared) == 1:
+            probe_keys = probe_cols[0].tolist()
+        else:
+            probe_keys = list(zip(*(c.tolist() for c in probe_cols)))
+        build_idx: list[int] = []
+        probe_idx: list[int] = []
+        for j, key in enumerate(probe_keys):
+            matches = table.get(key)
+            if matches is not None:
+                build_idx.extend(matches)
+                probe_idx.extend([j] * len(matches))
+        bi = np.asarray(build_idx, dtype=np.int64)
+        pi = np.asarray(probe_idx, dtype=np.int64)
+        left_idx, right_idx = (bi, pi) if not swapped else (pi, bi)
+
+    attrs = list(left.schema.attributes) + [
+        attr for attr in right.schema.attributes if attr.name not in set(shared)
+    ]
+    schema = RelationSchema(output_name, tuple(attrs))
+    columns: dict[str, np.ndarray] = {}
+    for attr in left.schema.attributes:
+        columns[attr.name] = left.column(attr.name)[left_idx]
+    for attr in right.schema.attributes:
+        if attr.name not in columns:
+            columns[attr.name] = right.column(attr.name)[right_idx]
+    return Relation(schema, columns)
+
+
+def natural_join(relations: Sequence[Relation], output_name: str = "join") -> Relation:
+    """Natural join of many relations, greedily joining connected pairs first.
+
+    The join order prefers pairs that share attributes, so acyclic schemas
+    never go through a Cartesian product.
+    """
+    if not relations:
+        raise ValueError("natural_join needs at least one relation")
+    pending = list(relations)
+    result = pending.pop(0)
+    while pending:
+        have = set(result.attribute_names)
+        best = None
+        for i, rel in enumerate(pending):
+            overlap = len(have & set(rel.attribute_names))
+            if best is None or overlap > best[1]:
+                best = (i, overlap)
+        idx, _ = best
+        result = hash_join(result, pending.pop(idx), output_name=output_name)
+    # Deduplicate attribute order for determinism.
+    names = stable_unique(result.attribute_names)
+    assert tuple(names) == result.attribute_names
+    return result

@@ -1,0 +1,58 @@
+"""Attribute kinds and their numpy representations.
+
+LMFAO distinguishes two classes of attributes:
+
+* **continuous** attributes enter aggregates through arithmetic functions
+  (``SUM(X*Y)``); stored as ``float64``.
+* **categorical** attributes are only compared for equality and appear as
+  group-by attributes (the one-hot encoding of in-database ML); stored as
+  dictionary-encoded ``int64`` codes.
+
+Integer-valued keys (``store``, ``item``, dates, ...) are categorical for
+grouping purposes but may still be used inside arithmetic user-defined
+functions, so the kind records *intent*, not a hard restriction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class AttributeKind(enum.Enum):
+    """Intent of an attribute: how the ML layers treat it."""
+
+    #: Dictionary-encoded key or category; group-by / one-hot candidate.
+    CATEGORICAL = "categorical"
+    #: Numeric measure; participates in SUM/PRODUCT arithmetic.
+    CONTINUOUS = "continuous"
+
+    def numpy_dtype(self) -> np.dtype:
+        """The storage dtype used for columns of this kind."""
+        if self is AttributeKind.CATEGORICAL:
+            return np.dtype(np.int64)
+        return np.dtype(np.float64)
+
+
+def coerce_column(values: object, kind: AttributeKind) -> np.ndarray:
+    """Return ``values`` as a 1-D numpy array of the kind's storage dtype.
+
+    Accepts lists, tuples and arrays. Raises ``TypeError`` when categorical
+    values cannot be represented as int64 exactly (e.g. fractional floats),
+    because silently truncating keys would corrupt joins.
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise TypeError(f"column must be 1-D, got shape {arr.shape}")
+    target = kind.numpy_dtype()
+    if arr.dtype == target:
+        return arr
+    if kind is AttributeKind.CATEGORICAL:
+        as_int = arr.astype(np.int64, copy=True)
+        if np.issubdtype(arr.dtype, np.floating) and not np.array_equal(
+            as_int.astype(arr.dtype), arr
+        ):
+            raise TypeError("categorical column contains non-integer values")
+        return as_int
+    return arr.astype(np.float64, copy=True)

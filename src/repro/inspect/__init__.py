@@ -1,0 +1,17 @@
+"""Textual views of engine internals — the demo UI's four tabs as text."""
+
+from repro.inspect.render import (
+    describe_compiled_batch,
+    render_dependency_dot,
+    render_group_graph,
+    render_join_tree,
+    render_view_list,
+)
+
+__all__ = [
+    "describe_compiled_batch",
+    "render_dependency_dot",
+    "render_group_graph",
+    "render_join_tree",
+    "render_view_list",
+]

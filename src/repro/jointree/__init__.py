@@ -1,0 +1,13 @@
+"""Join trees: the backbone of LMFAO's shared query plan.
+
+The view-generation layer needs one join tree for the whole batch. This
+package builds it from the database schema (maximum-weight spanning tree on
+the shared-attribute graph, validated against the running-intersection
+property) and assigns a root per query with the paper's heuristic.
+"""
+
+from repro.jointree.construction import build_join_tree
+from repro.jointree.jointree import JoinTree
+from repro.jointree.roots import assign_roots
+
+__all__ = ["JoinTree", "assign_roots", "build_join_tree"]

@@ -1,0 +1,69 @@
+"""Join-tree construction from a database schema.
+
+For an α-acyclic join query, a maximum-weight spanning tree of the
+*intersection graph* (nodes = relations, edge weight = number of shared
+attributes) is a join tree satisfying the running-intersection property —
+a classical result (Bernstein & Goodman 1981) that makes construction a
+one-liner over networkx-free Kruskal. The RIP check in :class:`JoinTree`
+turns a cyclic schema into a :class:`CyclicSchemaError`.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import DatabaseSchema
+from repro.jointree.jointree import JoinTree
+from repro.util.errors import CyclicSchemaError
+
+
+class _UnionFind:
+    def __init__(self, items: tuple[str, ...]) -> None:
+        self._parent = {item: item for item in items}
+
+    def find(self, item: str) -> str:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[ra] = rb
+        return True
+
+
+def build_join_tree(schema: DatabaseSchema) -> JoinTree:
+    """Build a join tree for ``schema``.
+
+    Uses Kruskal on the intersection graph with weight = number of shared
+    attributes, breaking ties deterministically by relation declaration
+    order. Raises :class:`CyclicSchemaError` when the schema is cyclic or
+    its join graph is disconnected (a cross product has no join tree).
+    """
+    names = schema.relation_names
+    if len(names) == 1:
+        return JoinTree(schema, [])
+
+    position = {name: i for i, name in enumerate(names)}
+    candidates: list[tuple[int, int, int, str, str]] = []
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            weight = len(schema.shared_attributes(u, v))
+            if weight > 0:
+                candidates.append((-weight, position[u], position[v], u, v))
+    candidates.sort()
+
+    uf = _UnionFind(names)
+    edges: list[tuple[str, str]] = []
+    for _neg_weight, _pu, _pv, u, v in candidates:
+        if uf.union(u, v):
+            edges.append((u, v))
+    if len(edges) != len(names) - 1:
+        raise CyclicSchemaError(
+            "join graph is disconnected: some relations share no attributes "
+            "with the rest (cross products are not supported)"
+        )
+    return JoinTree(schema, edges)

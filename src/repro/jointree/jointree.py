@@ -1,0 +1,167 @@
+"""The join tree data structure.
+
+A join tree over a database schema has one node per relation and satisfies
+the **running-intersection property** (RIP): for every attribute, the nodes
+whose relations contain it form a connected subtree. RIP is what makes
+LMFAO's directional views correct: the separator ``attrs(u) ∩ attrs(v)`` of
+an edge is exactly the interface between the two sides of the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.data.schema import DatabaseSchema
+from repro.util.errors import CyclicSchemaError, PlanError
+
+
+class JoinTree:
+    """An undirected tree over relation names, tied to a schema."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        edges: Iterable[tuple[str, str]],
+    ) -> None:
+        self.schema = schema
+        names = list(schema.relation_names)
+        self._adjacency: dict[str, list[str]] = {name: [] for name in names}
+        self._edges: list[tuple[str, str]] = []
+        for u, v in edges:
+            if u not in self._adjacency or v not in self._adjacency:
+                raise PlanError(f"edge ({u}, {v}) references unknown relation")
+            self._adjacency[u].append(v)
+            self._adjacency[v].append(u)
+            self._edges.append((u, v))
+        if len(self._edges) != len(names) - 1:
+            raise PlanError(
+                f"a tree over {len(names)} nodes needs {len(names) - 1} edges, "
+                f"got {len(self._edges)}"
+            )
+        self._assert_connected()
+        self._assert_running_intersection()
+        self._subtree_attr_cache: dict[tuple[str, str], frozenset[str]] = {}
+
+    # ------------------------------------------------------------------ checks
+    def _assert_connected(self) -> None:
+        start = next(iter(self._adjacency))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nbr in self._adjacency[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        if len(seen) != len(self._adjacency):
+            raise PlanError("join tree is not connected")
+
+    def _assert_running_intersection(self) -> None:
+        for attr in self.schema.all_attributes:
+            holders = set(self.schema.relations_with(attr))
+            if len(holders) <= 1:
+                continue
+            start = next(iter(holders))
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nbr in self._adjacency[node]:
+                    if nbr in holders and nbr not in seen:
+                        seen.add(nbr)
+                        stack.append(nbr)
+            if seen != holders:
+                raise CyclicSchemaError(
+                    f"attribute {attr!r} spans disconnected nodes {sorted(holders)}; "
+                    "the schema admits no join tree with this edge set"
+                )
+
+    # --------------------------------------------------------------- structure
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(self._adjacency)
+
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        """Undirected edges as listed at construction."""
+        return tuple(self._edges)
+
+    @property
+    def directed_edges(self) -> tuple[tuple[str, str], ...]:
+        """Every edge in both directions — one slot per potential view."""
+        out: list[tuple[str, str]] = []
+        for u, v in self._edges:
+            out.append((u, v))
+            out.append((v, u))
+        return tuple(out)
+
+    def neighbors(self, node: str) -> tuple[str, ...]:
+        try:
+            return tuple(self._adjacency[node])
+        except KeyError:
+            raise PlanError(f"unknown join-tree node {node!r}") from None
+
+    def attributes(self, node: str) -> tuple[str, ...]:
+        """Attributes of the relation at ``node``."""
+        return self.schema.relation(node).attribute_names
+
+    def separator(self, u: str, v: str) -> tuple[str, ...]:
+        """Join attributes between adjacent nodes (must be adjacent)."""
+        if v not in self._adjacency.get(u, ()):
+            raise PlanError(f"{u} and {v} are not adjacent in the join tree")
+        return self.schema.shared_attributes(u, v)
+
+    def rooted_parents(self, root: str) -> dict[str, str | None]:
+        """Parent map of the tree rooted at ``root`` (root maps to None)."""
+        if root not in self._adjacency:
+            raise PlanError(f"unknown join-tree node {root!r}")
+        parents: dict[str, str | None] = {root: None}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for nbr in self._adjacency[node]:
+                if nbr not in parents:
+                    parents[nbr] = node
+                    stack.append(nbr)
+        return parents
+
+    def topological_from_leaves(self, root: str) -> list[str]:
+        """Nodes ordered so every node appears after all its children."""
+        parents = self.rooted_parents(root)
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def visit(node: str) -> None:
+            seen.add(node)
+            for nbr in self._adjacency[node]:
+                if nbr != parents[node] and nbr not in seen:
+                    visit(nbr)
+            order.append(node)
+
+        visit(root)
+        return order
+
+    def subtree_attributes(self, node: str, parent: str | None) -> frozenset[str]:
+        """All attributes in the subtree at ``node`` when hung below ``parent``.
+
+        ``parent=None`` returns every attribute of the database.
+        """
+        key = (node, parent or "")
+        cached = self._subtree_attr_cache.get(key)
+        if cached is not None:
+            return cached
+        attrs: set[str] = set()
+        stack = [(node, parent)]
+        while stack:
+            current, avoid = stack.pop()
+            attrs.update(self.attributes(current))
+            for nbr in self._adjacency[current]:
+                if nbr != avoid:
+                    stack.append((nbr, current))
+        result = frozenset(attrs)
+        self._subtree_attr_cache[key] = result
+        return result
+
+    def __repr__(self) -> str:
+        edges = ", ".join(f"{u}-{v}" for u, v in self._edges)
+        return f"JoinTree({edges})"

@@ -1,0 +1,40 @@
+"""In-database machine learning over LMFAO aggregate batches.
+
+The three demonstrated applications of the paper:
+
+* :mod:`repro.ml.linreg` — ridge linear regression by batch gradient
+  descent over the non-centred covariance matrix Σ (Section 3);
+* :mod:`repro.ml.cart` — CART regression trees from per-node variance
+  aggregates;
+* :mod:`repro.ml.rkmeans` — Rk-means clustering via per-dimension
+  histograms and a weighted grid coreset.
+"""
+
+from repro.ml.cart import CartConfig, RegressionTree, cart_node_batch
+from repro.ml.covariance import (
+    FeatureIndex,
+    assemble_sigma,
+    covariance_batch,
+)
+from repro.ml.features import FeatureSpec, favorita_features, retailer_features
+from repro.ml.kmeans import KMeansResult, weighted_kmeans
+from repro.ml.linreg import LinearRegressionModel, train_linear_regression
+from repro.ml.rkmeans import RkMeansResult, rk_means
+
+__all__ = [
+    "CartConfig",
+    "FeatureIndex",
+    "FeatureSpec",
+    "KMeansResult",
+    "LinearRegressionModel",
+    "RegressionTree",
+    "RkMeansResult",
+    "assemble_sigma",
+    "cart_node_batch",
+    "covariance_batch",
+    "favorita_features",
+    "retailer_features",
+    "rk_means",
+    "train_linear_regression",
+    "weighted_kmeans",
+]

@@ -1,0 +1,328 @@
+"""CART regression trees over LMFAO aggregate batches (paper §3).
+
+Each tree node needs, for every candidate split ``Xj op t``, the variance
+triple ``SUM(1), SUM(Y), SUM(Y²)`` over the data satisfying the split and
+the path conditions. Two batch formulations are provided:
+
+* ``mode="groupby"`` (default) — one query per feature, grouped by the
+  feature, with the path conditions as WHERE (folded by the engine into
+  indicator factors). All thresholds of a feature come for free from a
+  prefix scan over its sorted group-by result. This keeps one LMFAO pass
+  per tree node and reuses every trie across the whole tree.
+* ``mode="indicator"`` — one explicit threshold-indicator aggregate per
+  candidate ``(feature, threshold, statistic)``, the formulation whose
+  batch size the paper reports (thousands of aggregates per node). Same
+  results, much larger (still shared) batch — useful for the batch-size
+  experiments.
+
+Splits: continuous features use ``Xj <= t`` / ``Xj > t``; categorical
+features use one-vs-rest equality ``Xj = v`` / ``Xj ≠ v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import LMFAO
+from repro.ml.features import FeatureSpec
+from repro.query.aggregates import Aggregate, Factor
+from repro.query.batch import QueryBatch
+from repro.query.functions import indicator, square
+from repro.query.predicates import Op, Predicate
+from repro.query.query import Query, QueryResult
+
+
+@dataclass(frozen=True)
+class CartConfig:
+    """Tree-growing knobs."""
+
+    max_depth: int = 4
+    min_samples: float = 20.0
+    min_variance_gain: float = 1e-9
+    mode: str = "groupby"  # or "indicator"
+    num_thresholds: int = 16  # indicator mode: candidate thresholds/feature
+
+
+@dataclass
+class TreeNode:
+    """One node of the regression tree."""
+
+    prediction: float
+    count: float
+    variance: float
+    depth: int
+    feature: str | None = None
+    threshold: float | None = None
+    categorical: bool = False
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.is_leaf:
+            return f"{pad}predict {self.prediction:.4g} (n={self.count:g})"
+        op = "==" if self.categorical else "<="
+        lines = [f"{pad}{self.feature} {op} {self.threshold:g} (n={self.count:g})"]
+        lines.append(self.left.describe(indent + 1))
+        lines.append(self.right.describe(indent + 1))
+        return "\n".join(lines)
+
+
+def _variance(n: float, s: float, q: float) -> float:
+    # the paper's VARIANCE: Σy² − (Σy)²/|T|
+    if n <= 0:
+        return 0.0
+    return max(0.0, q - s * s / n)
+
+
+def cart_node_batch(
+    spec: FeatureSpec,
+    path: tuple[Predicate, ...],
+    mode: str = "groupby",
+    thresholds: dict[str, list[float]] | None = None,
+) -> QueryBatch:
+    """The aggregate batch CART needs for one tree node.
+
+    In groupby mode: one 3-aggregate query per feature plus the node
+    totals. In indicator mode: the totals query plus, per continuous
+    feature, ``3 × num_thresholds`` indicator aggregates (and group-by
+    queries for categorical features).
+    """
+    label = spec.label
+    triple = (
+        Aggregate.count(),
+        Aggregate.sum(label),
+        Aggregate.sum(label, square),
+    )
+    queries: list[Query] = [
+        Query("node_total", aggregates=triple, where=path)
+    ]
+    features = spec.continuous + spec.categorical
+    if mode == "groupby":
+        for feature in features:
+            queries.append(
+                Query(
+                    f"node_{feature}", group_by=(feature,), aggregates=triple, where=path
+                )
+            )
+    elif mode == "indicator":
+        if thresholds is None:
+            raise ValueError("indicator mode requires per-feature thresholds")
+        for feature in spec.continuous:
+            aggs: list[Aggregate] = []
+            for t in thresholds[feature]:
+                ind = Factor(feature, indicator("<=", float(t)))
+                for base in triple:
+                    aggs.append(base.with_factor(ind))
+            if aggs:
+                queries.append(
+                    Query(f"node_{feature}", aggregates=tuple(aggs), where=path)
+                )
+        for feature in spec.categorical:
+            queries.append(
+                Query(
+                    f"node_{feature}", group_by=(feature,), aggregates=triple, where=path
+                )
+            )
+    else:
+        raise ValueError(f"unknown CART mode {mode!r}")
+    return QueryBatch(queries)
+
+
+@dataclass
+class _Split:
+    feature: str
+    threshold: float
+    categorical: bool
+    left: tuple[float, float, float]
+    right: tuple[float, float, float]
+    variance_after: float
+
+
+def _best_split_groupby(
+    spec: FeatureSpec,
+    results: dict[str, QueryResult],
+    total: tuple[float, float, float],
+    min_samples: float,
+) -> _Split | None:
+    n_tot, s_tot, q_tot = total
+    best: _Split | None = None
+
+    def consider(feature: str, threshold: float, categorical: bool,
+                 left: tuple[float, float, float]) -> None:
+        nonlocal best
+        right = (n_tot - left[0], s_tot - left[1], q_tot - left[2])
+        if left[0] < min_samples or right[0] < min_samples:
+            return
+        after = _variance(*left) + _variance(*right)
+        if best is None or after < best.variance_after:
+            best = _Split(feature, threshold, categorical, left, right, after)
+
+    for feature in spec.continuous:
+        groups = results[f"node_{feature}"].groups
+        items = sorted(groups.items())
+        n = s = q = 0.0
+        for (value, *_), stats in items[:-1]:  # last split is empty-right
+            n += stats[0]
+            s += stats[1]
+            q += stats[2]
+            consider(feature, float(value), False, (n, s, q))
+    for feature in spec.categorical:
+        for (value, *_), stats in sorted(results[f"node_{feature}"].groups.items()):
+            consider(feature, float(value), True, (stats[0], stats[1], stats[2]))
+    return best
+
+
+def _best_split_indicator(
+    spec: FeatureSpec,
+    results: dict[str, QueryResult],
+    total: tuple[float, float, float],
+    thresholds: dict[str, list[float]],
+    min_samples: float,
+) -> _Split | None:
+    n_tot, s_tot, q_tot = total
+    best: _Split | None = None
+
+    def consider(feature: str, threshold: float, categorical: bool,
+                 left: tuple[float, float, float]) -> None:
+        nonlocal best
+        right = (n_tot - left[0], s_tot - left[1], q_tot - left[2])
+        if left[0] < min_samples or right[0] < min_samples:
+            return
+        after = _variance(*left) + _variance(*right)
+        if best is None or after < best.variance_after:
+            best = _Split(feature, threshold, categorical, left, right, after)
+
+    for feature in spec.continuous:
+        values = results[f"node_{feature}"].groups.get((), None)
+        if values is None:
+            continue
+        for i, t in enumerate(thresholds[feature]):
+            left = (values[3 * i], values[3 * i + 1], values[3 * i + 2])
+            consider(feature, float(t), False, left)
+    for feature in spec.categorical:
+        for (value, *_), stats in sorted(results[f"node_{feature}"].groups.items()):
+            consider(feature, float(value), True, (stats[0], stats[1], stats[2]))
+    return best
+
+
+@dataclass
+class RegressionTree:
+    """A CART regression tree trained entirely from aggregate batches."""
+
+    spec: FeatureSpec
+    config: CartConfig
+    root: TreeNode | None = None
+    num_nodes: int = 0
+    aggregates_per_node: int = 0
+    total_aggregates: int = 0
+    aggregate_seconds: float = 0.0
+    _thresholds: dict[str, list[float]] = field(default_factory=dict)
+
+    def fit(self, engine: LMFAO) -> "RegressionTree":
+        """Grow the tree over the engine's database."""
+        if self.config.mode == "indicator":
+            self._thresholds = self._candidate_thresholds(engine)
+        self.root = self._grow(engine, path=(), depth=0)
+        return self
+
+    # ------------------------------------------------------------------ growing
+    def _candidate_thresholds(self, engine: LMFAO) -> dict[str, list[float]]:
+        """Equi-depth thresholds per continuous feature (one histogram batch)."""
+        queries = [
+            Query(f"hist_{f}", group_by=(f,), aggregates=(Aggregate.count(),))
+            for f in self.spec.continuous
+        ]
+        run = engine.run(QueryBatch(queries))
+        thresholds: dict[str, list[float]] = {}
+        for feature in self.spec.continuous:
+            groups = sorted(run.results[f"hist_{feature}"].groups.items())
+            values = np.array([k[0] for k, _ in groups], dtype=np.float64)
+            counts = np.array([v[0] for _, v in groups])
+            if len(values) <= self.config.num_thresholds:
+                thresholds[feature] = [float(v) for v in values[:-1]]
+                continue
+            cumulative = np.cumsum(counts) / counts.sum()
+            picks = np.searchsorted(
+                cumulative, np.linspace(0, 1, self.config.num_thresholds + 2)[1:-1]
+            )
+            thresholds[feature] = sorted({float(values[i]) for i in picks})
+        return thresholds
+
+    def _grow(
+        self, engine: LMFAO, path: tuple[Predicate, ...], depth: int
+    ) -> TreeNode:
+        batch = cart_node_batch(
+            self.spec, path, mode=self.config.mode, thresholds=self._thresholds or None
+        )
+        run = engine.run(batch)
+        self.aggregate_seconds += run.total_time
+        self.total_aggregates += batch.num_aggregates
+        if self.aggregates_per_node == 0:
+            self.aggregates_per_node = batch.num_aggregates
+        totals = run.results["node_total"].groups.get((), (0.0, 0.0, 0.0))
+        n, s, q = totals[0], totals[1], totals[2]
+        node = TreeNode(
+            prediction=s / n if n > 0 else 0.0,
+            count=n,
+            variance=_variance(n, s, q),
+            depth=depth,
+        )
+        self.num_nodes += 1
+        if depth >= self.config.max_depth or n < 2 * self.config.min_samples:
+            return node
+        if self.config.mode == "groupby":
+            split = _best_split_groupby(
+                self.spec, run.results, (n, s, q), self.config.min_samples
+            )
+        else:
+            split = _best_split_indicator(
+                self.spec, run.results, (n, s, q), self._thresholds,
+                self.config.min_samples,
+            )
+        if split is None or node.variance - split.variance_after <= (
+            self.config.min_variance_gain * max(1.0, node.variance)
+        ):
+            return node
+        node.feature = split.feature
+        node.threshold = split.threshold
+        node.categorical = split.categorical
+        left_op, right_op = (Op.EQ, Op.NE) if split.categorical else (Op.LE, Op.GT)
+        node.left = self._grow(
+            engine, path + (Predicate(split.feature, left_op, split.threshold),), depth + 1
+        )
+        node.right = self._grow(
+            engine, path + (Predicate(split.feature, right_op, split.threshold),), depth + 1
+        )
+        return node
+
+    # --------------------------------------------------------------- prediction
+    def predict_rows(self, rows: dict[str, np.ndarray]) -> np.ndarray:
+        """Predict labels for raw attribute columns."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        n = len(next(iter(rows.values())))
+        out = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            node = self.root
+            while not node.is_leaf:
+                value = rows[node.feature][i]
+                if node.categorical:
+                    go_left = value == node.threshold
+                else:
+                    go_left = value <= node.threshold
+                node = node.left if go_left else node.right
+            out[i] = node.prediction
+        return out
+
+    def describe(self) -> str:
+        """A printable rendering of the tree."""
+        if self.root is None:
+            return "(unfitted tree)"
+        return self.root.describe()

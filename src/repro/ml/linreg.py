@@ -1,0 +1,195 @@
+"""Ridge linear regression by batch gradient descent over Σ (paper §3).
+
+The data-intensive work is the covariance batch; once Σ is assembled, every
+BGD iteration is a dense matrix-vector product — "the aggregates are
+computed once and then reused for all BGD iterations".
+
+Following the paper, the parameter vector runs over
+``[intercept, label, features...]`` with the label's parameter fixed to
+−1, so the residual ``⟨θ, x⟩`` *is* the prediction error and
+
+    J(θ) = 1/(2|D|) θᵀ Σ θ + λ/2 ‖θ_free‖²,
+    ∇J(θ) = 1/|D| (Σ θ) + λ θ_free.
+
+Gradient descent uses backtracking line search (the strategy of the AC/DC
+predecessor system). A closed-form solver over the same Σ provides the
+validation target for the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import LMFAO
+from repro.ml.covariance import FeatureIndex, assemble_sigma, covariance_batch
+from repro.ml.features import FeatureSpec
+
+
+@dataclass
+class LinearRegressionModel:
+    """A trained model: parameters over the one-hot feature layout."""
+
+    spec: FeatureSpec
+    index: FeatureIndex
+    theta: np.ndarray
+    iterations: int
+    objective: float
+    aggregate_seconds: float
+    solve_seconds: float
+    num_aggregates: int
+    converged: bool
+    objective_trace: list[float] = field(default_factory=list)
+
+    def predict_rows(self, rows: dict[str, np.ndarray]) -> np.ndarray:
+        """Predict labels for raw attribute columns (test-set evaluation)."""
+        x = encode_rows(self.index, rows)
+        theta = self.theta.copy()
+        theta[self.index.label_column] = 0.0  # the label slot is not a feature
+        return x @ theta
+
+
+def encode_rows(index: FeatureIndex, rows: dict[str, np.ndarray]) -> np.ndarray:
+    """One-hot encode raw columns into the Σ feature layout.
+
+    The label column is left at zero; unseen category values map to no
+    one-hot column (all zeros), the standard convention.
+    """
+    spec = index.spec
+    num_rows = len(next(iter(rows.values())))
+    x = np.zeros((num_rows, index.dimension), dtype=np.float64)
+    x[:, 0] = 1.0
+    for attr in spec.continuous:
+        x[:, index.continuous_column(attr)] = rows[attr]
+    for attr in spec.categorical:
+        values = index.categories[attr]
+        positions = {v: i for i, v in enumerate(values)}
+        base = index.offsets[attr]
+        for r, v in enumerate(rows[attr]):
+            pos = positions.get(v)
+            if pos is not None:
+                x[r, base + pos] = 1.0
+    return x
+
+
+def sigma_from_engine(
+    engine: LMFAO, spec: FeatureSpec
+) -> tuple[np.ndarray, FeatureIndex, float, float, int]:
+    """Run the covariance batch through the engine; returns Σ and stats."""
+    batch = covariance_batch(spec)
+    run = engine.run(batch)
+    sigma, index, count = assemble_sigma(spec, run.results)
+    return sigma, index, count, run.total_time, batch.num_aggregates
+
+
+def train_linear_regression(
+    engine: LMFAO,
+    spec: FeatureSpec,
+    ridge: float = 1e-3,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-9,
+) -> LinearRegressionModel:
+    """Train ridge linear regression with BGD over LMFAO aggregates."""
+    sigma, index, count, agg_seconds, num_aggs = sigma_from_engine(engine, spec)
+    theta, iterations, objective, trace, converged, solve_seconds = _bgd(
+        sigma, index, count, ridge, max_iterations, tolerance
+    )
+    return LinearRegressionModel(
+        spec=spec,
+        index=index,
+        theta=theta,
+        iterations=iterations,
+        objective=objective,
+        aggregate_seconds=agg_seconds,
+        solve_seconds=solve_seconds,
+        num_aggregates=num_aggs,
+        converged=converged,
+        objective_trace=trace,
+    )
+
+
+def closed_form_theta(
+    sigma: np.ndarray, index: FeatureIndex, count: float, ridge: float
+) -> np.ndarray:
+    """Solve the ridge normal equations over the same Σ (validation target)."""
+    label = index.label_column
+    free = [i for i in range(sigma.shape[0]) if i != label]
+    # No penalty on the intercept — matching the BGD objective exactly.
+    penalties = np.array([0.0 if i == 0 else ridge for i in free])
+    a = sigma[np.ix_(free, free)] / count + np.diag(penalties)
+    b = sigma[free, label] / count
+    theta = np.zeros(sigma.shape[0])
+    theta[free] = np.linalg.solve(a, b)
+    theta[label] = -1.0
+    return theta
+
+
+def _objective(
+    sigma: np.ndarray, theta: np.ndarray, count: float, ridge: float, label: int
+) -> float:
+    free = theta.copy()
+    free[0] = 0.0  # no penalty on the intercept
+    free[label] = 0.0
+    return float(
+        theta @ sigma @ theta / (2.0 * count) + 0.5 * ridge * free @ free
+    )
+
+
+def _bgd(
+    sigma: np.ndarray,
+    index: FeatureIndex,
+    count: float,
+    ridge: float,
+    max_iterations: int,
+    tolerance: float,
+) -> tuple[np.ndarray, int, float, list[float], bool, float]:
+    import time
+
+    start = time.perf_counter()
+    label = index.label_column
+    dim = sigma.shape[0]
+    theta = np.zeros(dim)
+    theta[label] = -1.0
+
+    # Jacobi preconditioner: one-hot columns and raw measures have wildly
+    # different scales, so plain gradient descent crawls. Dividing the
+    # gradient by diag(Σ)/|D| + λ keeps the direction a descent direction
+    # (the preconditioner is positive) and restores fast convergence.
+    precond = np.maximum(np.diag(sigma) / count + ridge, 1e-12)
+
+    step = 1.0
+    objective = _objective(sigma, theta, count, ridge, label)
+    trace = [objective]
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        grad = sigma @ theta / count
+        penal = theta.copy()
+        penal[0] = 0.0
+        penal[label] = 0.0
+        grad = grad + ridge * penal
+        grad[label] = 0.0  # label parameter stays fixed at -1
+
+        direction = grad / precond
+        descent = float(grad @ direction)
+        if descent <= tolerance:
+            converged = True
+            break
+        # backtracking line search (Armijo)
+        step = min(step * 2.0, 1e6)
+        while True:
+            candidate = theta - step * direction
+            candidate[label] = -1.0
+            value = _objective(sigma, candidate, count, ridge, label)
+            if value <= objective - 0.5 * step * descent or step < 1e-16:
+                break
+            step *= 0.5
+        if abs(objective - value) <= tolerance * max(1.0, abs(objective)):
+            theta, objective = candidate, value
+            trace.append(objective)
+            converged = True
+            break
+        theta, objective = candidate, value
+        trace.append(objective)
+    return theta, iterations, objective, trace, converged, time.perf_counter() - start

@@ -1,0 +1,37 @@
+"""The aggregate-batch query language.
+
+LMFAO queries are **sum-product group-by aggregates** over the natural join
+``D`` of the database: ``SELECT G, SUM(f1(a1) * ... * fm(am)) FROM D
+[WHERE conds] GROUP BY G``. A :class:`QueryBatch` bundles hundreds to
+thousands of such queries for joint optimisation.
+"""
+
+from repro.query.aggregates import Aggregate, Factor
+from repro.query.batch import QueryBatch
+from repro.query.functions import (
+    Function,
+    FunctionRegistry,
+    identity,
+    indicator,
+    one,
+    square,
+)
+from repro.query.parser import parse_query
+from repro.query.predicates import Op, Predicate
+from repro.query.query import Query
+
+__all__ = [
+    "Aggregate",
+    "Factor",
+    "Function",
+    "FunctionRegistry",
+    "Op",
+    "Predicate",
+    "Query",
+    "QueryBatch",
+    "identity",
+    "indicator",
+    "one",
+    "parse_query",
+    "square",
+]

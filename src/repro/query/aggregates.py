@@ -1,0 +1,102 @@
+"""Sum-product aggregate expressions.
+
+An :class:`Aggregate` is ``SUM`` of a product of unary factors over
+attributes: ``SUM(f1(a1) * f2(a2) * ...)``; the empty product is
+``SUM(1)`` (count). This is exactly the class of aggregates LMFAO batches:
+covariance entries, decision-tree variance triples, histogram weights.
+
+Factors are structural values: two aggregates with equal factor multisets
+are the same computation, which is what lets view merging deduplicate
+aggregates across queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.query.functions import Function, identity
+from repro.util.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One multiplicand ``function(attribute)`` of a sum-product aggregate."""
+
+    attribute: str
+    function: Function = identity
+
+    @property
+    def signature(self) -> tuple[str, str]:
+        """Structural identity: (attribute, function name)."""
+        return (self.attribute, self.function.name)
+
+    def __repr__(self) -> str:
+        if self.function.name == "id":
+            return self.attribute
+        return f"{self.function.name}({self.attribute})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``SUM`` over the join of a product of factors.
+
+    Attributes
+    ----------
+    factors:
+        The multiplicands, in canonical (sorted-by-signature) order so that
+        structurally equal products compare equal regardless of how the
+        caller ordered them. Empty means ``SUM(1)``.
+    """
+
+    factors: tuple[Factor, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.factors, key=lambda f: f.signature))
+        object.__setattr__(self, "factors", ordered)
+
+    @staticmethod
+    def count() -> "Aggregate":
+        """``SUM(1)``."""
+        return Aggregate(())
+
+    @staticmethod
+    def sum(attribute: str, function: Function = identity) -> "Aggregate":
+        """``SUM(f(attribute))``."""
+        return Aggregate((Factor(attribute, function),))
+
+    @staticmethod
+    def product(factors: Iterable[Factor]) -> "Aggregate":
+        """``SUM(∏ factors)``."""
+        return Aggregate(tuple(factors))
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes referenced by the product, with duplicates removed."""
+        return tuple(dict.fromkeys(f.attribute for f in self.factors))
+
+    @property
+    def signature(self) -> tuple[tuple[str, str], ...]:
+        """Structural identity of the whole product (canonical order)."""
+        return tuple(f.signature for f in self.factors)
+
+    def is_count(self) -> bool:
+        return not self.factors
+
+    def with_factor(self, factor: Factor) -> "Aggregate":
+        """A new aggregate with one more multiplicand."""
+        return Aggregate(self.factors + (factor,))
+
+    def validate_against(self, attributes: Iterable[str]) -> None:
+        """Raise :class:`QueryError` if any factor references an unknown attribute."""
+        known = set(attributes)
+        for factor in self.factors:
+            if factor.attribute not in known:
+                raise QueryError(
+                    f"aggregate references unknown attribute {factor.attribute!r}"
+                )
+
+    def __repr__(self) -> str:
+        if not self.factors:
+            return "SUM(1)"
+        return "SUM(" + "*".join(repr(f) for f in self.factors) + ")"

@@ -1,0 +1,71 @@
+"""Selection predicates (the WHERE clause of decision-tree queries)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.query.functions import Function, indicator
+from repro.util.errors import QueryError
+
+
+class Op(enum.Enum):
+    """Comparison operators supported in WHERE conjunctions.
+
+    The paper's CART section uses ``op ∈ {≤, ≥, =, ≠}``; we add the strict
+    forms for completeness.
+    """
+
+    LE = "<="
+    GE = ">="
+    LT = "<"
+    GT = ">"
+    EQ = "=="
+    NE = "!="
+
+    @staticmethod
+    def parse(text: str) -> "Op":
+        normalized = {"=": "==", "<>": "!="}.get(text, text)
+        for op in Op:
+            if op.value == normalized:
+                return op
+        raise QueryError(f"unknown comparison operator {text!r}")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single comparison ``attribute op value``."""
+
+    attribute: str
+    op: Op
+    value: float
+
+    @property
+    def signature(self) -> tuple[str, str, float]:
+        """Structural identity for merging and grouping decisions."""
+        return (self.attribute, self.op.value, float(self.value))
+
+    def evaluate(self, column: np.ndarray) -> np.ndarray:
+        """Vectorised boolean evaluation over a column."""
+        ops = {
+            Op.LE: np.less_equal,
+            Op.GE: np.greater_equal,
+            Op.LT: np.less,
+            Op.GT: np.greater,
+            Op.EQ: np.equal,
+            Op.NE: np.not_equal,
+        }
+        return ops[self.op](column, self.value)
+
+    def as_indicator(self) -> Function:
+        """The predicate as an indicator factor ``1[a op v]``.
+
+        This is how the engine folds per-query conditions into sum-product
+        aggregates so that differently-filtered queries still share one scan.
+        """
+        return indicator(self.op.value, float(self.value))
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}{self.op.value}{self.value:g}"

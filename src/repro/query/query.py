@@ -1,0 +1,107 @@
+"""Group-by aggregate queries over the join of the database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.data.schema import DatabaseSchema
+from repro.query.aggregates import Aggregate
+from repro.query.predicates import Predicate
+from repro.util.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Query:
+    """``SELECT group_by, aggregates FROM D [WHERE where] GROUP BY group_by``.
+
+    ``D`` is always the natural join of every database relation — the
+    feature-extraction join of the paper. A query may carry several
+    aggregates (e.g. the CART triple ``SUM(1), SUM(Y), SUM(Y^2)``); all share
+    the query's group-by and WHERE conjunction.
+
+    Attributes
+    ----------
+    name:
+        Unique name within a batch; results are keyed by it.
+    group_by:
+        Group-by attributes, output order preserved. Empty for scalar
+        aggregates.
+    aggregates:
+        One or more sum-product aggregates.
+    where:
+        Conjunction of simple comparison predicates; empty means no filter.
+    """
+
+    name: str
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[Aggregate, ...] = (Aggregate.count(),)
+    where: tuple[Predicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("query name must be non-empty")
+        if not self.aggregates:
+            raise QueryError(f"query {self.name} needs at least one aggregate")
+        if len(set(self.group_by)) != len(self.group_by):
+            raise QueryError(f"query {self.name} repeats group-by attributes")
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes the query touches (group-by, factors, predicates)."""
+        seen: dict[str, None] = dict.fromkeys(self.group_by)
+        for agg in self.aggregates:
+            seen.update(dict.fromkeys(agg.attributes))
+        for pred in self.where:
+            seen.setdefault(pred.attribute, None)
+        return tuple(seen)
+
+    def validate_against(self, schema: DatabaseSchema) -> None:
+        """Raise :class:`QueryError` on references to unknown attributes."""
+        known = set(schema.all_attributes)
+        for attr in self.attributes:
+            if attr not in known:
+                raise QueryError(f"query {self.name}: unknown attribute {attr!r}")
+
+    def __repr__(self) -> str:
+        parts = [f"Query({self.name}: SELECT "]
+        select = list(self.group_by) + [repr(a) for a in self.aggregates]
+        parts.append(", ".join(select))
+        parts.append(" FROM D")
+        if self.where:
+            parts.append(" WHERE " + " AND ".join(repr(p) for p in self.where))
+        if self.group_by:
+            parts.append(" GROUP BY " + ", ".join(self.group_by))
+        parts.append(")")
+        return "".join(parts)
+
+
+@dataclass
+class QueryResult:
+    """The result of one query: group-by tuples mapped to aggregate vectors.
+
+    For scalar queries (no group-by) the mapping has the single key ``()``.
+    Aggregate values follow the order of ``Query.aggregates``.
+    """
+
+    query: Query
+    groups: dict[tuple, tuple[float, ...]] = field(default_factory=dict)
+
+    def scalar(self, index: int = 0) -> float:
+        """The value of a no-group-by aggregate (0.0 on empty join)."""
+        if self.query.group_by:
+            raise QueryError(f"query {self.query.name} is grouped; use groups")
+        if not self.groups:
+            return 0.0
+        return self.groups[()][index]
+
+    def __getitem__(self, key: object) -> tuple[float, ...]:
+        if not isinstance(key, tuple):
+            key = (key,)
+        return self.groups[key]
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.query.name}, groups={len(self.groups)})"

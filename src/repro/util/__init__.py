@@ -1,0 +1,23 @@
+"""Shared utilities: errors, timers, deterministic ordering helpers."""
+
+from repro.util.errors import (
+    CyclicSchemaError,
+    PlanError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.util.ordered import OrderedSet, stable_unique
+from repro.util.timer import Stopwatch, Timer
+
+__all__ = [
+    "CyclicSchemaError",
+    "OrderedSet",
+    "PlanError",
+    "QueryError",
+    "ReproError",
+    "SchemaError",
+    "Stopwatch",
+    "Timer",
+    "stable_unique",
+]

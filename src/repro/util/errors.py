@@ -1,0 +1,43 @@
+"""Exception hierarchy for the LMFAO reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. The subclasses mirror the processing stages: schema
+validation, query validation, join-tree construction, and plan compilation.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a relation or database schema is inconsistent.
+
+    Examples: duplicate attribute names inside a relation, an attribute that
+    has different types in two relations, or a column whose length does not
+    match the relation cardinality.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when a query references unknown attributes or is malformed."""
+
+
+class CyclicSchemaError(ReproError):
+    """Raised when the database schema does not admit a join tree.
+
+    LMFAO targets acyclic join queries; a schema whose join hypergraph is
+    cyclic has no join tree satisfying the running-intersection property.
+    """
+
+
+class PlanError(ReproError):
+    """Raised when view generation or plan compilation hits an invalid state.
+
+    A ``PlanError`` escaping the engine signals a bug in the optimiser, not a
+    user mistake, except when noted otherwise on the raising function.
+    """
+
+
+class ParseError(QueryError):
+    """Raised by the SQL-ish parser on invalid query text."""

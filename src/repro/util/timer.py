@@ -1,0 +1,83 @@
+"""Small timing helpers used by the engine and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context manager measuring wall-clock time of a block.
+
+    Usage::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class Stopwatch:
+    """Accumulates named wall-clock laps.
+
+    The engine uses one stopwatch per run to report per-phase timings
+    (view generation, grouping, code generation, execution), mirroring the
+    timings surfaced by the LMFAO demonstration UI.
+    """
+
+    def __init__(self) -> None:
+        self._laps: dict[str, float] = {}
+
+    def lap(self, name: str) -> "_Lap":
+        """Return a context manager that adds its duration under ``name``."""
+        return _Lap(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated time for ``name``."""
+        self._laps[name] = self._laps.get(name, 0.0) + seconds
+
+    @property
+    def laps(self) -> dict[str, float]:
+        """A copy of the accumulated lap times, keyed by lap name."""
+        return dict(self._laps)
+
+    def total(self) -> float:
+        """Sum of all laps."""
+        return sum(self._laps.values())
+
+    def report(self) -> str:
+        """Human-readable multi-line report, longest lap first."""
+        if not self._laps:
+            return "(no laps recorded)"
+        width = max(len(name) for name in self._laps)
+        lines = [
+            f"{name:<{width}}  {secs * 1e3:10.2f} ms"
+            for name, secs in sorted(self._laps.items(), key=lambda kv: -kv[1])
+        ]
+        lines.append(f"{'total':<{width}}  {self.total() * 1e3:10.2f} ms")
+        return "\n".join(lines)
+
+
+class _Lap:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,77 @@
+"""Baselines agree with the engine (and define the oracle semantics)."""
+
+import pytest
+
+from repro.baselines import MaterializedPipeline, SqlEngineBaseline
+from repro.core import EngineConfig, LMFAO
+from repro.paper import FAVORITA_TREE, example_queries
+from repro.query import Aggregate, Op, Predicate, Query, QueryBatch
+
+from tests.helpers import assert_results_equal, drop_zero_groups
+
+
+def test_sql_engine_matches_materialized(favorita_db):
+    batch = example_queries()
+    sql = SqlEngineBaseline(favorita_db).run(batch)
+    mat = MaterializedPipeline(favorita_db).run(batch)
+    for name in sql:
+        assert_results_equal(sql[name], mat[name])
+
+
+def test_baselines_match_engine(favorita_db):
+    batch = example_queries()
+    engine_run = LMFAO(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE)
+    ).run(batch)
+    sql = SqlEngineBaseline(favorita_db).run(batch)
+    for name in sql:
+        assert_results_equal(engine_run.results[name], sql[name])
+
+
+def test_where_modes_differ_only_in_zero_groups(favorita_db):
+    query = Query(
+        "q",
+        group_by=("store",),
+        aggregates=(Aggregate.count(),),
+        where=(Predicate("promo", Op.EQ, 1.0),),
+    )
+    indicator = MaterializedPipeline(favorita_db, where_mode="indicator").run_query(query)
+    filtered = MaterializedPipeline(favorita_db, where_mode="filter").run_query(query)
+    assert_results_equal(drop_zero_groups(indicator), filtered)
+
+
+def test_materialized_join_cached(favorita_db):
+    pipeline = MaterializedPipeline(favorita_db)
+    first = pipeline.join
+    second = pipeline.join
+    assert first is second
+    assert pipeline.materialize_seconds >= 0.0
+
+
+def test_design_matrix_shape(favorita_db):
+    pipeline = MaterializedPipeline(favorita_db)
+    matrix = pipeline.design_matrix(("units", "txns"))
+    assert matrix.shape == (pipeline.join.num_rows, 2)
+
+
+def test_sql_engine_projection_keeps_join_attrs(favorita_db):
+    """Projection pushdown must not change join multiplicities."""
+    baseline = SqlEngineBaseline(favorita_db)
+    q_count = Query("n", aggregates=(Aggregate.count(),))
+    expected = favorita_db.materialize_join().num_rows
+    assert baseline.run_query(q_count).scalar() == expected
+
+
+def test_filter_mode_scalar_empty():
+    import numpy as np
+
+    from repro.data import Attribute, Database, Relation, RelationSchema
+
+    C = Attribute.categorical
+    rel = Relation(RelationSchema("A", (C("k"),)), {"k": [1, 2]})
+    db = Database([rel])
+    query = Query(
+        "q", aggregates=(Aggregate.count(),), where=(Predicate("k", Op.GT, 5),)
+    )
+    result = SqlEngineBaseline(db, where_mode="filter").run_query(query)
+    assert result.groups[()] == (0.0,)

@@ -1,0 +1,38 @@
+"""Shared fixtures: small deterministic databases and engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.data import favorita, retailer
+from repro.paper import FAVORITA_TREE
+
+
+@pytest.fixture(scope="session")
+def favorita_db():
+    """A small Favorita instance (deterministic)."""
+    return favorita(scale=0.05, seed=7)
+
+
+@pytest.fixture(scope="session")
+def retailer_db():
+    """A small Retailer instance (deterministic)."""
+    return retailer(scale=0.05, seed=7)
+
+
+@pytest.fixture(scope="session")
+def favorita_join(favorita_db):
+    """The materialised join of the small Favorita instance."""
+    return favorita_db.materialize_join()
+
+
+@pytest.fixture()
+def favorita_engine(favorita_db):
+    """An engine over Favorita pinned to the paper's join tree."""
+    return LMFAO(favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+
+
+@pytest.fixture()
+def retailer_engine(retailer_db):
+    return LMFAO(retailer_db)

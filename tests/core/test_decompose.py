@@ -1,0 +1,92 @@
+"""γ/β decomposition invariants on real plans."""
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.core.plan import CountTerm, RowSumTerm
+from repro.ml import covariance_batch
+from repro.ml.features import favorita_features
+from repro.paper import EXAMPLE_ROOTS, FAVORITA_TREE, example_queries
+
+
+@pytest.fixture()
+def plans(favorita_db):
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, root_override=EXAMPLE_ROOTS),
+    )
+    return engine.compile(example_queries()).plans
+
+
+@pytest.fixture()
+def lr_plans(favorita_db):
+    engine = LMFAO(favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    return engine.compile(covariance_batch(favorita_features(favorita_db))).plans
+
+
+def test_beta_levels_strictly_increase(plans, lr_plans):
+    for plan in list(plans) + list(lr_plans):
+        for node in plan.betas:
+            assert node.reset_level < node.level
+            if node.child is not None:
+                assert plan.betas[node.child].level > node.level
+                assert plan.betas[node.child].reset_level == node.level
+
+
+def test_gamma_levels_weakly_increase(plans, lr_plans):
+    for plan in list(plans) + list(lr_plans):
+        for node in plan.gammas:
+            if node.parent is not None:
+                assert plan.gammas[node.parent].level <= node.level
+            for term in node.terms:
+                assert term.level <= node.level
+
+
+def test_every_chain_has_a_row_anchor(plans, lr_plans):
+    """Every aggregate carries exactly one Count/RowSum terminal."""
+    for plan in list(plans) + list(lr_plans):
+        for emission in plan.emissions:
+            for slot in emission.slots:
+                anchors = 0
+                gid = slot.gamma
+                while gid is not None:
+                    node = plan.gammas[gid]
+                    anchors += sum(
+                        isinstance(t, (CountTerm, RowSumTerm)) for t in node.terms
+                    )
+                    gid = node.parent
+                bid = slot.beta
+                while bid is not None:
+                    node = plan.betas[bid]
+                    anchors += sum(
+                        isinstance(t, (CountTerm, RowSumTerm)) for t in node.terms
+                    )
+                    bid = node.child
+                assert anchors == 1, (emission.artifact, slot.slot)
+
+
+def test_hash_consing_shares_nodes(lr_plans):
+    """The LR batch has hundreds of aggregates but far fewer chains."""
+    fact = next(p for p in lr_plans if p.node == "Sales")
+    emitted = sum(len(e.slots) for e in fact.emissions)
+    assert emitted > 50
+    assert len(fact.betas) < emitted  # sharing happened
+
+
+def test_support_only_when_chain_descends(plans, lr_plans):
+    for plan in list(plans) + list(lr_plans):
+        for emission in plan.emissions:
+            for slot in emission.slots:
+                if not emission.group_by:
+                    assert slot.support is None
+                if slot.support is not None:
+                    support = plan.betas[slot.support]
+                    assert support.reset_level == slot.level
+                    assert len(support.terms) == 1
+                    assert isinstance(support.terms[0], CountTerm)
+
+
+def test_row_products_canonical(lr_plans):
+    for plan in lr_plans:
+        for product in plan.row_products:
+            assert list(product) == sorted(product)

@@ -1,0 +1,140 @@
+"""Engine behaviours: caching, parallelism, config knobs, results."""
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.paper import FAVORITA_TREE, example_queries
+from repro.query import Aggregate, Op, Predicate, Query, QueryBatch
+
+from tests.helpers import assert_results_equal, oracle
+
+
+def test_run_results_match_oracle(favorita_db, favorita_engine, favorita_join):
+    run = favorita_engine.run(example_queries())
+    for query in example_queries():
+        assert_results_equal(run.results[query.name], oracle(favorita_join, query))
+
+
+def test_trie_cache_reused_across_runs(favorita_engine):
+    favorita_engine.run(example_queries())
+    cached = len(favorita_engine._trie_cache)
+    favorita_engine.run(example_queries())
+    assert len(favorita_engine._trie_cache) == cached
+
+
+def test_compile_once_execute_many(favorita_db, favorita_engine):
+    compiled = favorita_engine.compile(example_queries())
+    first = favorita_engine.execute(compiled)
+    second = favorita_engine.execute(compiled)
+    for name in first.results:
+        assert first.results[name].groups == second.results[name].groups
+
+
+def test_parallel_workers_agree_with_sequential(favorita_db):
+    batch = example_queries()
+    sequential = LMFAO(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE)
+    ).run(batch)
+    parallel = LMFAO(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE, workers=4)
+    ).run(batch)
+    for name in sequential.results:
+        assert sequential.results[name].groups == parallel.results[name].groups
+
+
+def test_single_root_ablation_matches(favorita_db, favorita_join):
+    batch = example_queries()
+    run = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, single_root="Sales"),
+    ).run(batch)
+    for query in batch:
+        assert_results_equal(run.results[query.name], oracle(favorita_join, query))
+    assert set(run.compiled.roots.values()) == {"Sales"}
+
+
+def test_single_root_auto_picks_largest(favorita_db):
+    engine = LMFAO(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE, single_root="auto")
+    )
+    compiled = engine.compile(example_queries())
+    assert set(compiled.roots.values()) == {"Sales"}
+
+
+def test_single_root_unknown_raises(favorita_db):
+    from repro.util.errors import PlanError
+
+    engine = LMFAO(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE, single_root="Nope")
+    )
+    with pytest.raises(PlanError):
+        engine.compile(example_queries())
+
+
+def test_timings_and_group_times_populated(favorita_engine):
+    run = favorita_engine.run(example_queries())
+    assert set(run.timings) >= {"compile", "execute", "collect"}
+    assert run.total_time > 0
+    assert len(run.group_times) == run.compiled.num_groups
+
+
+def test_generated_source_accessible(favorita_engine):
+    compiled = favorita_engine.compile(example_queries())
+    for i in range(compiled.num_groups):
+        source = compiled.generated_source(i)
+        assert source.startswith("# generated multi-output plan")
+        assert "def _run_group" in source
+
+
+def test_pushed_predicates_filter_relations(favorita_db, favorita_join):
+    shared = Predicate("promo", Op.EQ, 1.0)
+    batch = QueryBatch(
+        [
+            Query("a", aggregates=(Aggregate.sum("units"),), where=(shared,)),
+            Query(
+                "b",
+                group_by=("store",),
+                aggregates=(Aggregate.count(),),
+                where=(shared,),
+            ),
+        ]
+    )
+    run = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, push_shared_predicates=True),
+    ).run(batch)
+    assert run.compiled.shared_predicates == (shared,)
+    # compare against indicator-mode run: scalar totals must agree
+    indicator_run = LMFAO(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE)
+    ).run(batch)
+    assert run.results["a"].scalar() == pytest.approx(
+        indicator_run.results["a"].scalar()
+    )
+
+
+def test_empty_batch_query_on_empty_relation():
+    """A database whose fact table is empty yields empty grouped results."""
+    import numpy as np
+
+    from repro.data import Attribute, Database, Relation, RelationSchema
+
+    C = Attribute.categorical
+    r1 = Relation(RelationSchema("A", (C("k"), C("v"))), {"k": [], "v": []})
+    r2 = Relation(RelationSchema("B", (C("k"), C("w"))), {"k": [1], "w": [2]})
+    db = Database([r1, r2])
+    run = LMFAO(db).run(
+        QueryBatch([Query("q", group_by=("w",), aggregates=(Aggregate.count(),))])
+    )
+    assert run.results["q"].groups == {}
+
+
+def test_scalar_query_on_empty_join_returns_zero():
+    from repro.data import Attribute, Database, Relation, RelationSchema
+
+    C = Attribute.categorical
+    r1 = Relation(RelationSchema("A", (C("k"),)), {"k": []})
+    r2 = Relation(RelationSchema("B", (C("k"),)), {"k": [1]})
+    db = Database([r1, r2])
+    run = LMFAO(db).run(QueryBatch([Query("q", aggregates=(Aggregate.count(),))]))
+    assert run.results["q"].scalar() == 0.0

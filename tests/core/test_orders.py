@@ -1,0 +1,77 @@
+"""Attribute-order heuristic and view bindings."""
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO, ViewGenerator, build_groups
+from repro.core.orders import order_group
+from repro.jointree import JoinTree
+from repro.paper import EXAMPLE_ROOTS, FAVORITA_TREE, example_queries
+from repro.query import Aggregate, Query, QueryBatch
+
+
+def _orders_for(db, batch, roots=None):
+    tree = JoinTree(db.schema, list(FAVORITA_TREE))
+    from repro.jointree import assign_roots
+
+    roots = roots or assign_roots(db, tree, batch)
+    view_plan = ViewGenerator(db, tree).generate(batch, roots)
+    group_plan = build_groups(view_plan)
+    return view_plan, group_plan, [
+        order_group(g, view_plan, db) for g in group_plan.groups
+    ]
+
+
+def test_figure3_order(favorita_db):
+    _, group_plan, orders = _orders_for(
+        favorita_db, example_queries(), EXAMPLE_ROOTS
+    )
+    index = next(
+        i for i, g in enumerate(group_plan.groups) if "Q1" in g.artifact_names
+    )
+    assert tuple(l.attr for l in orders[index].relation_levels) == (
+        "item",
+        "date",
+        "store",
+    )
+
+
+def test_payload_attributes_excluded(favorita_db):
+    """units appears only in factors — never a trie level."""
+    _, group_plan, orders = _orders_for(
+        favorita_db, example_queries(), EXAMPLE_ROOTS
+    )
+    for order in orders:
+        assert all(l.attr != "units" for l in order.relation_levels)
+
+
+def test_bindings_cover_incoming_views(favorita_db):
+    view_plan, group_plan, orders = _orders_for(
+        favorita_db, example_queries(), EXAMPLE_ROOTS
+    )
+    for group, order in zip(group_plan.groups, orders):
+        assert {b.view for b in order.bindings} == set(group.incoming_view_names())
+        for binding in order.bindings:
+            # key levels are consistent with the level map
+            for attr, level in zip(binding.key, binding.key_levels):
+                assert order.level_of[attr] == level
+            assert binding.bind_level == max(binding.key_levels)
+
+
+def test_carried_block_created_for_nonlocal_group_by(favorita_db):
+    batch = QueryBatch(
+        [Query("cc", group_by=("class", "city"), aggregates=(Aggregate.count(),))]
+    )
+    view_plan, group_plan, orders = _orders_for(favorita_db, batch)
+    carried = [cb for order in orders for cb in order.carried_blocks]
+    assert carried, "expected at least one carried block"
+    for block in carried:
+        assert block.carried
+        assert block.key
+
+
+def test_key_attributes_sorted_by_name(favorita_db):
+    """Binding keys follow the view's canonical (name-sorted) group-by."""
+    _, _, orders = _orders_for(favorita_db, example_queries(), EXAMPLE_ROOTS)
+    for order in orders:
+        for binding in order.bindings:
+            assert list(binding.key) == sorted(binding.key)

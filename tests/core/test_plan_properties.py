@@ -1,0 +1,116 @@
+"""Structural invariants of compiled plans on random instances.
+
+Beyond result equality (test_differential), every compiled plan must
+satisfy the optimiser's internal contracts: views sit on tree edges with
+group-bys covering their separators, groups form a DAG over producing
+nodes, and emissions only reference chains that are in scope at their
+level.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import EngineConfig, LMFAO
+from repro.util.errors import CyclicSchemaError
+
+from tests.strategies import instances
+
+_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _compile(instance):
+    try:
+        engine = LMFAO(instance.db, EngineConfig())
+    except CyclicSchemaError:
+        pytest.skip("generated schema had a disconnected join graph")
+    return engine, engine.compile(instance.batch)
+
+
+@given(instance=instances())
+@settings(**_SETTINGS)
+def test_views_sit_on_edges_and_cover_separators(instance):
+    engine, compiled = _compile(instance)
+    tree = compiled.tree
+    for view in compiled.view_plan.views.values():
+        assert view.target in tree.neighbors(view.source)
+        separator = set(tree.separator(view.source, view.target))
+        assert separator <= set(view.group_by)
+        # every group-by attribute exists in the source subtree
+        subtree = tree.subtree_attributes(view.source, view.target)
+        assert set(view.group_by) <= subtree
+
+
+@given(instance=instances())
+@settings(**_SETTINGS)
+def test_group_homes_and_execution_order(instance):
+    engine, compiled = _compile(instance)
+    produced_at: dict[str, str] = {}
+    for group in compiled.group_plan.groups:
+        for view in group.views:
+            assert view.source == group.node
+            produced_at[view.name] = group.name
+        for output in group.outputs:
+            assert output.node == group.node
+    # execution order is a permutation respecting dependencies
+    position = {g: i for i, g in enumerate(compiled.execution_order)}
+    assert sorted(position) == list(range(compiled.num_groups))
+    for consumer, producers in compiled.group_plan.dependencies.items():
+        for producer in producers:
+            assert position[producer] < position[consumer]
+
+
+@given(instance=instances())
+@settings(**_SETTINGS)
+def test_plan_scoping_invariants(instance):
+    engine, compiled = _compile(instance)
+    for plan in compiled.plans:
+        num_rel = len(plan.relation_levels)
+        for binding in plan.bindings:
+            assert all(0 <= lvl < num_rel for lvl in binding.key_levels)
+            assert binding.bind_level == max(binding.key_levels)
+        for emission in plan.emissions:
+            for slot in emission.slots:
+                assert -1 <= slot.level < num_rel
+                if slot.gamma is not None:
+                    assert plan.gammas[slot.gamma].level <= slot.level
+                if slot.beta is not None:
+                    node = plan.betas[slot.beta]
+                    assert node.reset_level == slot.level
+                for part in slot.key_parts:
+                    if part.kind == "rel":
+                        assert part.level <= slot.level
+                    else:
+                        assert part.level in {cb.index for cb in plan.carried_blocks}
+
+
+@given(instance=instances())
+@settings(**_SETTINGS)
+def test_merging_never_increases_views(instance):
+    try:
+        merged = LMFAO(instance.db, EngineConfig()).compile(instance.batch)
+        unmerged = LMFAO(
+            instance.db, EngineConfig(merge_views=False)
+        ).compile(instance.batch)
+    except CyclicSchemaError:
+        pytest.skip("generated schema had a disconnected join graph")
+    assert merged.num_views <= unmerged.num_views
+    assert merged.num_groups <= unmerged.num_groups + len(unmerged.view_plan.outputs)
+
+
+@given(instance=instances())
+@settings(**_SETTINGS)
+def test_grouping_never_increases_groups(instance):
+    try:
+        grouped = LMFAO(instance.db, EngineConfig()).compile(instance.batch)
+        ungrouped = LMFAO(
+            instance.db, EngineConfig(multi_output=False)
+        ).compile(instance.batch)
+    except CyclicSchemaError:
+        pytest.skip("generated schema had a disconnected join graph")
+    assert grouped.num_groups <= ungrouped.num_groups

@@ -1,0 +1,98 @@
+"""Runtime preparation: binding reshapes and environment validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ViewBinding
+from repro.core.runtime import GroupEnvironment, reshape_binding
+from repro.util.errors import PlanError
+
+
+def _binding(key, carried=(), block=None, width=1):
+    return ViewBinding(
+        view="V",
+        num_aggregates=width,
+        key=key,
+        key_levels=tuple(range(len(key))),
+        bind_level=len(key) - 1,
+        carried=carried,
+        block=block,
+    )
+
+
+def test_scalar_binding_identity():
+    data = {1: [2.0], 2: [3.0]}
+    binding = _binding(("a",))
+    assert reshape_binding(binding, ("a",), data) is data
+
+
+def test_scalar_binding_reorders_keys():
+    data = {(1, 2): [5.0]}
+    binding = ViewBinding(
+        view="V",
+        num_aggregates=1,
+        key=("b", "a"),
+        key_levels=(0, 1),
+        bind_level=1,
+        carried=(),
+    )
+    reshaped = reshape_binding(binding, ("a", "b"), data)
+    assert reshaped == {(2, 1): [5.0]}
+
+
+def test_carried_binding_groups_entries():
+    data = {(1, 7): [2.0], (1, 8): [3.0], (2, 7): [4.0]}
+    binding = _binding(("a",), carried=("c",), block=0)
+    reshaped = reshape_binding(binding, ("a", "c"), data)
+    assert set(reshaped) == {1, 2}
+    assert sorted(reshaped[1]) == [((7,), [2.0]), ((8,), [3.0])]
+    assert reshaped[2] == [((7,), [4.0])]
+
+
+def test_carried_binding_multi_key():
+    data = {(1, 2, 7): [1.0]}
+    binding = ViewBinding(
+        view="V",
+        num_aggregates=1,
+        key=("a", "b"),
+        key_levels=(0, 1),
+        bind_level=1,
+        carried=("c",),
+        block=0,
+    )
+    reshaped = reshape_binding(binding, ("a", "b", "c"), data)
+    assert reshaped == {(1, 2): [((7,), [1.0])]}
+
+
+def test_environment_validates_order(favorita_db, favorita_engine):
+    from repro.data import TrieIndex
+    from repro.paper import example_queries
+
+    compiled = favorita_engine.compile(example_queries())
+    plan = next(p for p in compiled.plans if p.bindings)
+    wrong_trie = TrieIndex(favorita_db.relation(plan.node), ())
+    with pytest.raises(PlanError):
+        GroupEnvironment(
+            plan=plan,
+            trie=wrong_trie,
+            view_data={},
+            view_group_by={},
+            functions=compiled.functions,
+        )
+
+
+def test_environment_requires_view_data(favorita_db, favorita_engine):
+    from repro.data import TrieIndex
+    from repro.paper import example_queries
+
+    compiled = favorita_engine.compile(example_queries())
+    plan = next(p for p in compiled.plans if p.bindings)
+    trie = TrieIndex(favorita_db.relation(plan.node), plan.order)
+    with pytest.raises(PlanError):
+        GroupEnvironment(
+            plan=plan,
+            trie=trie,
+            view_data={},  # missing inputs
+            view_group_by={},
+            functions=compiled.functions,
+        )

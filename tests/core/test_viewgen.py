@@ -1,0 +1,91 @@
+"""View generation: pushdown, merging, factor placement."""
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO, ViewGenerator
+from repro.jointree import JoinTree
+from repro.paper import FAVORITA_TREE, example_queries
+from repro.query import Aggregate, Query, QueryBatch
+from repro.query.aggregates import Factor
+from repro.query.functions import square
+
+
+@pytest.fixture()
+def tree(favorita_db):
+    return JoinTree(favorita_db.schema, list(FAVORITA_TREE))
+
+
+def test_no_merging_keeps_views_separate(favorita_db, tree):
+    batch = example_queries()
+    roots = {"Q1": "Sales", "Q2": "Sales", "Q3": "Items"}
+    merged = ViewGenerator(favorita_db, tree, merge_across_queries=True).generate(
+        batch, roots
+    )
+    separate = ViewGenerator(favorita_db, tree, merge_across_queries=False).generate(
+        batch, roots
+    )
+    assert separate.num_views > merged.num_views
+    # unmerged: every query has its own view per edge below its root
+    counts = separate.edge_view_counts()
+    assert counts[("Holidays", "Sales")] == 3  # one per query
+
+
+def test_factor_applied_at_highest_node(favorita_db, tree):
+    """A factor over a join attribute is applied once, nearest the root."""
+    query = Query("q", aggregates=(Aggregate.sum("date", square),))
+    plan = ViewGenerator(favorita_db, tree).generate(
+        QueryBatch([query]), {"q": "Sales"}
+    )
+    # date exists in Sales (the root): the factor must sit on the output,
+    # not inside any view
+    for view in plan.views.values():
+        for aggregate in view.aggregates:
+            assert all(f.attribute != "date" for f in aggregate.factors)
+    output = plan.outputs[0]
+    assert any(
+        f.attribute == "date" for agg in output.aggregates for f in agg.factors
+    )
+
+
+def test_factor_below_root_is_pushed_into_view(favorita_db, tree):
+    query = Query("q", aggregates=(Aggregate.sum("price"),))
+    plan = ViewGenerator(favorita_db, tree).generate(
+        QueryBatch([query]), {"q": "Sales"}
+    )
+    oil_views = plan.views_on_edge("Oil", "Transactions")
+    assert len(oil_views) == 1
+    assert any(
+        f.attribute == "price"
+        for agg in oil_views[0].aggregates
+        for f in agg.factors
+    )
+
+
+def test_group_by_carried_up_through_views(favorita_db, tree):
+    """A group-by attribute below the root widens every view on the path."""
+    query = Query("q", group_by=("city",), aggregates=(Aggregate.count(),))
+    plan = ViewGenerator(favorita_db, tree).generate(
+        QueryBatch([query]), {"q": "Sales"}
+    )
+    by_edge = {(v.source, v.target): v for v in plan.views.values()}
+    assert "city" in by_edge[("StoRes", "Transactions")].group_by
+    assert "city" in by_edge[("Transactions", "Sales")].group_by
+
+
+def test_aggregate_dedup_within_merged_view(favorita_db, tree):
+    """Two queries with the same subtree partials share one view slot."""
+    q1 = Query("a", aggregates=(Aggregate.count(),))
+    q2 = Query("b", group_by=("store",), aggregates=(Aggregate.count(),))
+    plan = ViewGenerator(favorita_db, tree).generate(
+        QueryBatch([q1, q2]), {"a": "Sales", "b": "Sales"}
+    )
+    for view in plan.views.values():
+        assert view.num_aggregates == 1  # identical count partials merged
+
+
+def test_engine_rejects_unknown_attribute(favorita_db):
+    engine = LMFAO(favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    from repro.util.errors import QueryError
+
+    with pytest.raises(QueryError):
+        engine.compile(QueryBatch([Query("bad", group_by=("nope",))]))

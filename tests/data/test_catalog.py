@@ -1,0 +1,57 @@
+"""Database catalog: statistics and the materialised join."""
+
+import pytest
+
+from repro.data import Attribute, Database, Relation, RelationSchema
+from repro.util.errors import SchemaError
+
+C = Attribute.categorical
+F = Attribute.continuous
+
+
+@pytest.fixture()
+def db():
+    r1 = Relation(
+        RelationSchema("R1", (C("k"), F("x"))), {"k": [1, 1, 2], "x": [1.0, 2.0, 3.0]}
+    )
+    r2 = Relation(RelationSchema("R2", (C("k"), C("c"))), {"k": [1, 2, 2], "c": [5, 6, 7]})
+    return Database([r1, r2], name="toy")
+
+
+def test_lookup_and_summary(db):
+    assert db.relation_names == ("R1", "R2")
+    assert db.cardinality("R2") == 3
+    assert db.total_tuples() == 6
+    assert db.summary() == {"R1": 3, "R2": 3}
+    with pytest.raises(SchemaError):
+        db.relation("nope")
+
+
+def test_domain_size_spans_relations(db):
+    assert db.domain_size("k") == 2
+    assert db.domain_size("c") == 3
+    with pytest.raises(SchemaError):
+        db.domain_size("nope")
+
+
+def test_materialize_join(db):
+    join = db.materialize_join()
+    # k=1 matches 2x1 rows, k=2 matches 1x2 rows
+    assert join.num_rows == 4
+    assert set(join.attribute_names) == {"k", "x", "c"}
+
+
+def test_with_relation_replaces(db):
+    replacement = Relation(
+        RelationSchema("R2", (C("k"), C("c"))), {"k": [9], "c": [9]}
+    )
+    new_db = db.with_relation(replacement)
+    assert new_db.cardinality("R2") == 1
+    assert db.cardinality("R2") == 3  # original untouched
+    with pytest.raises(SchemaError):
+        db.with_relation(replacement.rename("R9"))
+
+
+def test_domain_size_cached(db):
+    first = db.domain_size("k")
+    assert db.domain_size("k") == first

@@ -1,0 +1,45 @@
+"""CSV round-trips for relations and databases."""
+
+import pytest
+
+from repro.data import favorita
+from repro.data.csvio import load_database, load_relation, save_database, save_relation
+from repro.util.errors import SchemaError
+
+
+def test_relation_round_trip(tmp_path, favorita_db):
+    original = favorita_db.relation("Sales")
+    path = tmp_path / "sales.csv"
+    save_relation(original, path)
+    loaded = load_relation(path, name="Sales")
+    assert loaded == original
+    assert loaded.schema.attributes == original.schema.attributes
+
+
+def test_database_round_trip(tmp_path):
+    db = favorita(scale=0.02, seed=5)
+    save_database(db, tmp_path / "fav")
+    loaded = load_database(tmp_path / "fav")
+    assert loaded.name == db.name
+    assert loaded.relation_names == db.relation_names
+    for name in db.relation_names:
+        assert loaded.relation(name) == db.relation(name)
+
+
+def test_load_database_requires_manifest(tmp_path):
+    with pytest.raises(SchemaError):
+        load_database(tmp_path)
+
+
+def test_load_relation_rejects_bad_header(tmp_path):
+    bad = tmp_path / "bad.csv"
+    bad.write_text("a:q\n1\n")
+    with pytest.raises(SchemaError):
+        load_relation(bad)
+
+
+def test_load_relation_rejects_empty(tmp_path):
+    empty = tmp_path / "empty.csv"
+    empty.write_text("")
+    with pytest.raises(SchemaError):
+        load_relation(empty)

@@ -1,0 +1,100 @@
+"""The synthetic Favorita and Retailer generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import favorita, retailer
+from repro.jointree import build_join_tree
+from repro.paper import FAVORITA_TREE
+from repro.jointree.jointree import JoinTree
+
+
+def test_favorita_schema_matches_figure2(favorita_db):
+    expected = {
+        "Sales": ("date", "store", "item", "units", "promo"),
+        "Holidays": ("date", "htype", "locale", "transferred"),
+        "StoRes": ("store", "city", "state", "stype", "cluster"),
+        "Items": ("item", "family", "class", "perishable"),
+        "Transactions": ("date", "store", "txns"),
+        "Oil": ("date", "price"),
+    }
+    for name, attrs in expected.items():
+        assert favorita_db.relation(name).attribute_names == attrs
+
+
+def test_favorita_deterministic():
+    a = favorita(scale=0.05, seed=3)
+    b = favorita(scale=0.05, seed=3)
+    for name in a.relation_names:
+        assert a.relation(name) == b.relation(name)
+    c = favorita(scale=0.05, seed=4)
+    assert any(a.relation(n) != c.relation(n) for n in a.relation_names)
+
+
+def test_favorita_foreign_keys_complete(favorita_db):
+    """Every Sales key has matching dimension rows — the join never shrinks."""
+    sales = favorita_db.relation("Sales")
+    assert set(np.unique(sales.column("item"))) <= set(
+        favorita_db.relation("Items").column("item")
+    )
+    assert set(np.unique(sales.column("store"))) <= set(
+        favorita_db.relation("StoRes").column("store")
+    )
+    assert set(np.unique(sales.column("date"))) <= set(
+        favorita_db.relation("Oil").column("date")
+    )
+    join = favorita_db.materialize_join()
+    assert join.num_rows == sales.num_rows
+
+
+def test_favorita_domain_ordering(favorita_db):
+    """Figure 3's attribute order relies on |item| > |date| > |store|."""
+    assert (
+        favorita_db.domain_size("item")
+        > favorita_db.domain_size("date")
+        > favorita_db.domain_size("store")
+    )
+
+
+def test_favorita_paper_tree_is_valid(favorita_db):
+    tree = JoinTree(favorita_db.schema, list(FAVORITA_TREE))
+    assert set(tree.nodes) == set(favorita_db.relation_names)
+
+
+def test_favorita_scales():
+    small = favorita(scale=0.05, seed=1)
+    large = favorita(scale=0.2, seed=1)
+    assert large.cardinality("Sales") > small.cardinality("Sales")
+
+
+def test_retailer_has_43_attributes(retailer_db):
+    assert len(retailer_db.schema.all_attributes) == 43
+    expected_relations = {"Inventory", "Location", "Census", "Item", "Weather"}
+    assert set(retailer_db.relation_names) == expected_relations
+
+
+def test_retailer_join_tree_buildable(retailer_db):
+    tree = build_join_tree(retailer_db.schema)
+    # Inventory is the hub: joins Weather on (locn, dateid), Item on ksn,
+    # Location on locn; Census attaches to Location via zip.
+    assert set(tree.neighbors("Census")) == {"Location"}
+    assert "Inventory" in tree.neighbors("Item")
+
+
+def test_retailer_join_does_not_explode(retailer_db):
+    join = retailer_db.materialize_join()
+    assert join.num_rows == retailer_db.cardinality("Inventory")
+
+
+def test_retailer_deterministic():
+    a = retailer(scale=0.05, seed=9)
+    b = retailer(scale=0.05, seed=9)
+    for name in a.relation_names:
+        assert a.relation(name) == b.relation(name)
+
+
+@pytest.mark.parametrize("maker", [favorita, retailer])
+def test_generators_tiny_scale_still_valid(maker):
+    db = maker(scale=0.01, seed=0)
+    assert db.total_tuples() > 0
+    assert db.materialize_join().num_rows > 0

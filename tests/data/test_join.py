@@ -1,0 +1,83 @@
+"""Natural-join operators against hand-computed results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Attribute, Relation, RelationSchema, hash_join, natural_join
+
+C = Attribute.categorical
+F = Attribute.continuous
+
+
+def rel(name, cols, **data):
+    return Relation(RelationSchema(name, tuple(cols)), data)
+
+
+def test_hash_join_single_key():
+    left = rel("L", [C("k"), F("x")], k=[1, 2, 2], x=[1.0, 2.0, 3.0])
+    right = rel("R", [C("k"), F("y")], k=[2, 3], y=[10.0, 20.0])
+    out = hash_join(left, right)
+    assert out.attribute_names == ("k", "x", "y")
+    rows = sorted(out.iter_rows())
+    assert rows == [(2, 2.0, 10.0), (2, 3.0, 10.0)]
+
+
+def test_hash_join_multi_key_and_duplicates():
+    left = rel("L", [C("a"), C("b")], a=[1, 1, 2], b=[1, 1, 2])
+    right = rel("R", [C("a"), C("b"), F("z")], a=[1, 1], b=[1, 1], z=[5.0, 6.0])
+    out = hash_join(left, right)
+    # 2 left dups x 2 right dups = 4 rows
+    assert out.num_rows == 4
+    assert sorted(r[2] for r in out.iter_rows()) == [5.0, 5.0, 6.0, 6.0]
+
+
+def test_hash_join_no_shared_is_cross_product():
+    left = rel("L", [C("a")], a=[1, 2])
+    right = rel("R", [C("b")], b=[7, 8, 9])
+    out = hash_join(left, right)
+    assert out.num_rows == 6
+
+
+def test_hash_join_empty_side():
+    left = rel("L", [C("k")], k=[])
+    right = rel("R", [C("k"), F("y")], k=[1], y=[2.0])
+    assert hash_join(left, right).num_rows == 0
+
+
+def test_natural_join_prefers_connected_pairs():
+    a = rel("A", [C("x")], x=[1, 2])
+    b = rel("B", [C("y")], y=[5])
+    c = rel("C", [C("x"), C("y")], x=[1, 2], y=[5, 5])
+    # join order must connect via C, never through the cross product A x B
+    out = natural_join([a, b, c])
+    assert out.num_rows == 2
+    assert set(out.attribute_names) == {"x", "y"}
+
+
+def test_natural_join_requires_input():
+    with pytest.raises(ValueError):
+        natural_join([])
+
+
+@given(seed=st.integers(0, 1000), n_left=st.integers(0, 20), n_right=st.integers(0, 20))
+@settings(max_examples=25, deadline=None)
+def test_hash_join_matches_nested_loop(seed, n_left, n_right):
+    rng = np.random.default_rng(seed)
+    left = rel(
+        "L", [C("k"), F("x")],
+        k=rng.integers(0, 4, n_left), x=rng.normal(size=n_left),
+    )
+    right = rel(
+        "R", [C("k"), F("y")],
+        k=rng.integers(0, 4, n_right), y=rng.normal(size=n_right),
+    )
+    out = hash_join(left, right)
+    expected = sorted(
+        (lk, lx, ry)
+        for lk, lx in left.iter_rows()
+        for rk, ry in right.iter_rows()
+        if lk == rk
+    )
+    assert sorted(out.iter_rows()) == expected

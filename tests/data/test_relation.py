@@ -1,0 +1,103 @@
+"""Relation operators: construction, sort, select, project, equality."""
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, Relation, RelationSchema
+from repro.util.errors import SchemaError
+
+C = Attribute.categorical
+F = Attribute.continuous
+
+
+@pytest.fixture()
+def rel():
+    schema = RelationSchema("R", (C("k"), F("x")))
+    return Relation(schema, {"k": [2, 1, 2, 3], "x": [1.0, 2.0, 3.0, 4.0]})
+
+
+def test_construction_checks_columns(rel):
+    schema = rel.schema
+    with pytest.raises(SchemaError):
+        Relation(schema, {"k": [1, 2]})  # missing column
+    with pytest.raises(SchemaError):
+        Relation(schema, {"k": [1], "x": [1.0, 2.0]})  # ragged
+    with pytest.raises(SchemaError):
+        Relation(schema, {"k": [1], "x": [1.0], "extra": [0]})
+
+
+def test_columns_are_read_only(rel):
+    with pytest.raises(ValueError):
+        rel.column("k")[0] = 99
+
+
+def test_categorical_coercion_rejects_fractions():
+    schema = RelationSchema("R", (C("k"),))
+    with pytest.raises(TypeError):
+        Relation(schema, {"k": [1.5]})
+
+
+def test_from_rows_and_iter_rows(rel):
+    clone = Relation.from_rows(rel.schema, list(rel.iter_rows()))
+    assert clone == rel
+    assert clone.row(0) == (2, 1.0)
+
+
+def test_from_rows_empty():
+    schema = RelationSchema("R", (C("k"), F("x")))
+    empty = Relation.from_rows(schema, [])
+    assert empty.num_rows == 0
+
+
+def test_from_rows_width_mismatch(rel):
+    with pytest.raises(SchemaError):
+        Relation.from_rows(rel.schema, [(1,)])
+
+
+def test_sorted_by_is_lexicographic():
+    schema = RelationSchema("R", (C("a"), C("b")))
+    r = Relation(schema, {"a": [2, 1, 2, 1], "b": [1, 2, 0, 1]})
+    s = r.sorted_by(("a", "b"))
+    assert list(s.column("a")) == [1, 1, 2, 2]
+    assert list(s.column("b")) == [1, 2, 0, 1]
+
+
+def test_filter_and_select(rel):
+    picked = rel.filter(np.array([True, False, True, False]))
+    assert picked.num_rows == 2
+    assert list(picked.column("k")) == [2, 2]
+    selected = rel.select(lambda cols: cols["x"] > 2.0)
+    assert selected.num_rows == 2
+    with pytest.raises(ValueError):
+        rel.filter(np.array([True]))
+
+
+def test_project_bag_and_distinct(rel):
+    bag = rel.project(("k",))
+    assert bag.num_rows == 4
+    distinct = rel.project(("k",), distinct=True)
+    assert sorted(distinct.column("k")) == [1, 2, 3]
+
+
+def test_project_distinct_multi_column():
+    schema = RelationSchema("R", (C("a"), C("b")))
+    r = Relation(schema, {"a": [1, 1, 1, 2], "b": [1, 1, 2, 1]})
+    d = r.project(("a", "b"), distinct=True)
+    assert d.num_rows == 3
+
+
+def test_bag_equality_ignores_order(rel):
+    shuffled = rel.take(np.array([3, 1, 0, 2]))
+    assert shuffled == rel
+    other = rel.replace_columns(x=[9.0, 2.0, 3.0, 4.0])
+    assert other != rel
+
+
+def test_rename(rel):
+    named = rel.rename("S")
+    assert named.name == "S"
+    assert named == rel.rename("S")
+
+
+def test_distinct_count(rel):
+    assert rel.distinct_count("k") == 3

@@ -1,0 +1,126 @@
+"""CSR trie index: run structure, child spans, prefix sums."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Attribute, Relation, RelationSchema, TrieIndex
+from repro.util.errors import PlanError
+
+C = Attribute.categorical
+F = Attribute.continuous
+
+
+@pytest.fixture()
+def relation():
+    schema = RelationSchema("R", (C("a"), C("b"), F("x")))
+    return Relation(
+        schema,
+        {
+            "a": [2, 1, 2, 1, 2, 2],
+            "b": [1, 3, 1, 3, 2, 1],
+            "x": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        },
+    )
+
+
+def test_level_structure(relation):
+    trie = TrieIndex(relation, ("a", "b"))
+    level0 = trie.level(0)
+    assert list(level0.values) == [1, 2]
+    assert list(level0.row_start) == [0, 2]
+    assert list(level0.row_end) == [2, 6]
+    level1 = trie.level(1)
+    # runs: (1,3), (2,1), (2,2)
+    assert list(level1.values) == [3, 1, 2]
+    assert list(level1.row_end - level1.row_start) == [2, 3, 1]
+    # child spans of level0 runs cover level1 runs [0,1) and [1,3)
+    assert list(level0.child_start) == [0, 1]
+    assert list(level0.child_end) == [1, 3]
+
+
+def test_deepest_level_child_spans_are_rows(relation):
+    trie = TrieIndex(relation, ("a", "b"))
+    deepest = trie.level(1)
+    assert list(deepest.child_start) == list(deepest.row_start)
+    assert list(deepest.child_end) == list(deepest.row_end)
+
+
+def test_empty_relation():
+    schema = RelationSchema("R", (C("a"),))
+    trie = TrieIndex(Relation(schema, {"a": []}), ("a",))
+    assert trie.level(0).num_runs == 0
+    assert trie.num_rows == 0
+
+
+def test_empty_order(relation):
+    trie = TrieIndex(relation, ())
+    assert trie.levels == []
+    assert trie.num_rows == 6
+
+
+def test_order_validation(relation):
+    with pytest.raises(PlanError):
+        TrieIndex(relation, ("a", "a"))
+    with pytest.raises(PlanError):
+        TrieIndex(relation, ("nope",))
+
+
+def test_prefix_sum_ranges(relation):
+    trie = TrieIndex(relation, ("a", "b"))
+    psum = trie.prefix_sum("x", lambda rel: rel.column("x"))
+    sorted_x = trie.column("x")
+    level0 = trie.level(0)
+    for i in range(level0.num_runs):
+        lo, hi = level0.row_start[i], level0.row_end[i]
+        assert psum[hi] - psum[lo] == pytest.approx(sorted_x[lo:hi].sum())
+    # cached: same object back
+    assert trie.prefix_sum("x", lambda rel: rel.column("x")) is psum
+
+
+def test_prefix_sum_shape_check(relation):
+    trie = TrieIndex(relation, ("a",))
+    with pytest.raises(PlanError):
+        trie.prefix_sum("bad", lambda rel: np.ones(3))
+
+
+def test_level_lists_and_functions(relation):
+    trie = TrieIndex(relation, ("a", "b"))
+    vals, rs, re_, cs, ce = trie.level_lists(0)
+    assert vals == [1, 2]
+    assert isinstance(vals[0], int)
+    farr = trie.level_function_values(0, "sq", lambda v: v.astype(float) ** 2)
+    assert farr == [1.0, 4.0]
+    plist = trie.prefix_sum_list("x", lambda rel: rel.column("x"))
+    assert plist[0] == 0.0 and len(plist) == 7
+
+
+@given(seed=st.integers(0, 500), n=st.integers(0, 60))
+@settings(max_examples=25, deadline=None)
+def test_runs_partition_rows(seed, n):
+    """Trie invariant: every level's runs partition the sorted rows, and
+    child spans partition the next level."""
+    rng = np.random.default_rng(seed)
+    schema = RelationSchema("R", (C("a"), C("b"), C("c")))
+    relation = Relation(
+        schema,
+        {k: rng.integers(0, 4, n) for k in ("a", "b", "c")},
+    )
+    trie = TrieIndex(relation, ("a", "b", "c"))
+    for k, level in enumerate(trie.levels):
+        # rows partitioned: starts are strictly increasing, contiguous
+        assert list(level.row_start[1:]) == list(level.row_end[:-1])
+        if level.num_runs:
+            assert level.row_start[0] == 0
+            assert level.row_end[-1] == n
+        # runs have constant prefix values
+        col = trie.column(level.attribute)
+        for i in range(level.num_runs):
+            lo, hi = level.row_start[i], level.row_end[i]
+            assert (col[lo:hi] == level.values[i]).all()
+        if k + 1 < len(trie.levels):
+            child = trie.level(k + 1)
+            assert list(level.child_start[1:]) == list(level.child_end[:-1])
+            if level.num_runs:
+                assert level.child_end[-1] == child.num_runs

@@ -1,0 +1,88 @@
+"""End-to-end Section 2 example: results, sharing, and inspection output."""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.inspect import (
+    describe_compiled_batch,
+    render_dependency_dot,
+    render_group_graph,
+    render_join_tree,
+    render_view_list,
+)
+from repro.paper import EXAMPLE_ROOTS, FAVORITA_TREE, example_queries, g, h
+
+from tests.helpers import assert_results_equal, oracle
+
+
+@pytest.fixture()
+def run(favorita_db):
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, root_override=EXAMPLE_ROOTS),
+    )
+    return engine.run(example_queries())
+
+
+def test_q1_totals(favorita_db, favorita_join, run):
+    assert run.results["Q1"].scalar() == pytest.approx(
+        float(favorita_join.column("units").sum())
+    )
+
+
+def test_q2_grouped_udf_sums(favorita_join, run):
+    expected = {}
+    values = g(favorita_join.column("item")) * h(favorita_join.column("date"))
+    for store, value in zip(favorita_join.column("store").tolist(), values):
+        expected[store] = expected.get(store, 0.0) + value
+    actual = {key[0]: vals[0] for key, vals in run.results["Q2"].groups.items()}
+    assert set(actual) == set(expected)
+    for store in expected:
+        assert actual[store] == pytest.approx(expected[store])
+
+
+def test_q3_class_sums(favorita_db, favorita_join, run):
+    for query in example_queries():
+        if query.name == "Q3":
+            assert_results_equal(run.results["Q3"], oracle(favorita_join, query))
+
+
+def test_all_ablations_agree_on_example(favorita_db, favorita_join):
+    batch = example_queries()
+    reference = None
+    configs = [
+        EngineConfig(join_tree_edges=FAVORITA_TREE),
+        EngineConfig(join_tree_edges=FAVORITA_TREE, merge_views=False),
+        EngineConfig(join_tree_edges=FAVORITA_TREE, multi_output=False),
+        EngineConfig(join_tree_edges=FAVORITA_TREE, factorize=False),
+        EngineConfig(join_tree_edges=FAVORITA_TREE, single_root="auto"),
+        EngineConfig(),  # heuristic join tree instead of the paper's
+    ]
+    for config in configs:
+        run = LMFAO(favorita_db, config).run(batch)
+        if reference is None:
+            reference = run
+            for query in batch:
+                assert_results_equal(
+                    run.results[query.name], oracle(favorita_join, query)
+                )
+        else:
+            for name in reference.results:
+                assert_results_equal(run.results[name], reference.results[name])
+
+
+def test_inspection_renders(favorita_db, run):
+    compiled = run.compiled
+    tree_text = render_join_tree(compiled.tree, compiled.view_plan)
+    assert "Sales" in tree_text and "Transactions" in tree_text
+    views_text = render_view_list(compiled.view_plan)
+    assert "group by" in views_text
+    sales_only = render_view_list(compiled.view_plan, node="Sales")
+    assert "Q1" in sales_only
+    groups_text = render_group_graph(compiled.group_plan)
+    assert "depends on" in groups_text
+    dot = render_dependency_dot(compiled.group_plan)
+    assert dot.startswith("digraph") and "->" in dot
+    report = describe_compiled_batch(compiled)
+    assert "Join tree" in report and "generated lines" in report

@@ -1,0 +1,47 @@
+"""Root assignment heuristic: the paper's choices and edge cases."""
+
+import pytest
+
+from repro.jointree import JoinTree, assign_roots
+from repro.jointree.roots import assign_root
+from repro.paper import FAVORITA_TREE, example_queries
+from repro.query import Aggregate, Query, QueryBatch
+
+
+def test_paper_root_assignment(favorita_db):
+    """Q1, Q2 -> Sales; Q3 -> Items, exactly as chosen in the paper."""
+    tree = JoinTree(favorita_db.schema, list(FAVORITA_TREE))
+    roots = assign_roots(favorita_db, tree, example_queries())
+    assert roots == {"Q1": "Sales", "Q2": "Sales", "Q3": "Items"}
+
+
+def test_scalar_queries_go_to_largest_relation(favorita_db):
+    tree = JoinTree(favorita_db.schema, list(FAVORITA_TREE))
+    query = Query("scalar", aggregates=(Aggregate.count(),))
+    assert assign_root(favorita_db, tree, query) == "Sales"
+
+
+def test_local_group_by_wins(favorita_db):
+    tree = JoinTree(favorita_db.schema, list(FAVORITA_TREE))
+    query = Query("by_class", group_by=("class",))
+    assert assign_root(favorita_db, tree, query) == "Items"
+    query = Query("by_price", group_by=("price",))
+    assert assign_root(favorita_db, tree, query) == "Oil"
+
+
+def test_override_pins_roots(favorita_db):
+    tree = JoinTree(favorita_db.schema, list(FAVORITA_TREE))
+    batch = QueryBatch([Query("q", group_by=("class",))])
+    roots = assign_roots(favorita_db, tree, batch, override={"q": "Oil"})
+    assert roots == {"q": "Oil"}
+    with pytest.raises(KeyError):
+        assign_roots(favorita_db, tree, batch, override={"q": "Nope"})
+
+
+def test_group_by_spanning_relations_prefers_bigger_domain(favorita_db):
+    tree = JoinTree(favorita_db.schema, list(FAVORITA_TREE))
+    # item's domain is the largest; a query grouped by item and city should
+    # root where the heavier group-by attribute is local
+    query = Query("q", group_by=("item", "city"))
+    root = assign_root(favorita_db, tree, query)
+    assert "item" in tree.attributes(root)

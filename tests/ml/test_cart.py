@@ -1,0 +1,142 @@
+"""CART over aggregate batches vs direct computation on the join."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MaterializedPipeline
+from repro.core import EngineConfig, LMFAO
+from repro.ml import CartConfig, FeatureSpec, RegressionTree, cart_node_batch
+from repro.paper import FAVORITA_TREE
+from repro.query.predicates import Op, Predicate
+
+
+@pytest.fixture(scope="module")
+def db():
+    from repro.data import favorita
+
+    return favorita(scale=0.05, seed=11)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return FeatureSpec(
+        label="units", continuous=("txns", "price"), categorical=("promo", "stype")
+    )
+
+
+def test_node_batch_shapes(spec):
+    groupby = cart_node_batch(spec, path=())
+    # one totals query + one per feature
+    assert len(groupby) == 1 + spec.num_features
+    assert groupby.num_aggregates == 3 * (1 + spec.num_features)
+
+    thresholds = {"txns": [1.0, 2.0], "price": [3.0]}
+    indicator = cart_node_batch(spec, path=(), mode="indicator", thresholds=thresholds)
+    # totals + per-threshold triples + categorical group-bys
+    assert indicator.num_aggregates == 3 + 3 * 3 + 3 * 2
+
+
+def test_indicator_mode_requires_thresholds(spec):
+    with pytest.raises(ValueError):
+        cart_node_batch(spec, path=(), mode="indicator")
+    with pytest.raises(ValueError):
+        cart_node_batch(spec, path=(), mode="nope")
+
+
+def test_root_split_matches_exhaustive_search(db, spec):
+    """The engine-chosen root split equals brute force over the join."""
+    engine = LMFAO(db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    tree = RegressionTree(spec, CartConfig(max_depth=1, min_samples=5)).fit(engine)
+    join = MaterializedPipeline(db).join
+    y = join.column("units").astype(float)
+
+    def variance(mask):
+        if mask.sum() == 0:
+            return 0.0
+        sel = y[mask]
+        return sel @ sel - sel.sum() ** 2 / mask.sum()
+
+    best = (np.inf, None, None)
+    for feature in spec.continuous:
+        col = join.column(feature)
+        for t in np.unique(col)[:-1]:
+            mask = col <= t
+            if mask.sum() < 5 or (~mask).sum() < 5:
+                continue
+            v = variance(mask) + variance(~mask)
+            if v < best[0] - 1e-9:
+                best = (v, feature, float(t))
+    for feature in spec.categorical:
+        col = join.column(feature)
+        for value in np.unique(col):
+            mask = col == value
+            if mask.sum() < 5 or (~mask).sum() < 5:
+                continue
+            v = variance(mask) + variance(~mask)
+            if v < best[0] - 1e-9:
+                best = (v, feature, float(value))
+
+    assert tree.root.feature == best[1]
+    assert tree.root.threshold == pytest.approx(best[2])
+
+
+def test_tree_predictions_are_leaf_means(db, spec):
+    engine = LMFAO(db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    tree = RegressionTree(spec, CartConfig(max_depth=2, min_samples=5)).fit(engine)
+    join = MaterializedPipeline(db).join
+    rows = {a: join.column(a) for a in spec.all_attributes}
+    predictions = tree.predict_rows(rows)
+    y = join.column("units").astype(float)
+    # group rows by predicted leaf value; each group's mean must equal it
+    for value in np.unique(predictions):
+        mask = predictions == value
+        assert y[mask].mean() == pytest.approx(value, rel=1e-9)
+
+
+def test_indicator_mode_agrees_with_groupby_mode(db, spec):
+    engine = LMFAO(db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    a = RegressionTree(
+        spec, CartConfig(max_depth=2, min_samples=5, mode="groupby")
+    ).fit(engine)
+    b = RegressionTree(
+        spec,
+        CartConfig(max_depth=2, min_samples=5, mode="indicator", num_thresholds=200),
+    ).fit(engine)
+    # with exhaustive thresholds both modes choose the same root split
+    assert a.root.feature == b.root.feature
+    assert a.root.threshold == pytest.approx(b.root.threshold)
+
+
+def test_tree_respects_depth_and_counts(db, spec):
+    engine = LMFAO(db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    tree = RegressionTree(spec, CartConfig(max_depth=2, min_samples=5)).fit(engine)
+
+    def walk(node, depth=0):
+        assert depth <= 2
+        if not node.is_leaf:
+            assert node.left.count + node.right.count == pytest.approx(node.count)
+            walk(node.left, depth + 1)
+            walk(node.right, depth + 1)
+
+    walk(tree.root)
+    assert tree.total_aggregates >= tree.aggregates_per_node * tree.num_nodes > 0
+    assert "predict" in tree.describe()
+
+
+def test_unfitted_tree_raises(spec):
+    with pytest.raises(RuntimeError):
+        RegressionTree(spec, CartConfig()).predict_rows({"txns": np.array([1.0])})
+    assert RegressionTree(spec, CartConfig()).describe() == "(unfitted tree)"
+
+
+def test_path_conditions_restrict_counts(db, spec):
+    """Aggregates under a path condition match the filtered join."""
+    engine = LMFAO(db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    path = (Predicate("promo", Op.EQ, 1.0),)
+    batch = cart_node_batch(spec, path)
+    run = engine.run(batch)
+    totals = run.results["node_total"].groups[()]
+    join = MaterializedPipeline(db).join
+    mask = join.column("promo") == 1
+    assert totals[0] == pytest.approx(mask.sum())
+    assert totals[1] == pytest.approx(join.column("units")[mask].sum())

@@ -1,0 +1,102 @@
+"""The covariance batch: query generation and Σ assembly."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MaterializedPipeline
+from repro.core import EngineConfig, LMFAO
+from repro.ml import FeatureSpec, assemble_sigma, covariance_batch
+from repro.ml.features import favorita_features, retailer_features
+from repro.ml.linreg import encode_rows
+from repro.paper import FAVORITA_TREE
+
+
+def expected_query_count(c: int, t: int) -> int:
+    """c continuous (incl. label), t categorical.
+
+    1 count + c sums + t histograms + C(c+1,2) cont-cont + t*c cat-cont
+    + C(t,2) cat-cat.
+    """
+    return 1 + c + t + c * (c + 1) // 2 + t * c + t * (t - 1) // 2
+
+
+def test_batch_size_formula():
+    spec = FeatureSpec(label="y", continuous=("a", "b"), categorical=("p", "q", "r"))
+    batch = covariance_batch(spec)
+    assert len(batch) == expected_query_count(3, 3)
+    assert batch.num_aggregates == len(batch)  # one aggregate per entry
+
+
+def test_batch_sizes_for_paper_specs(favorita_db, retailer_db):
+    fav = favorita_features(favorita_db)
+    ret = retailer_features(retailer_db)
+    assert len(covariance_batch(fav)) == expected_query_count(
+        1 + len(fav.continuous), len(fav.categorical)
+    )
+    # Retailer: 31 continuous incl. label, 8 categorical -> the published
+    # order of magnitude (hundreds of aggregates)
+    ret_batch = covariance_batch(ret)
+    assert len(ret_batch) == expected_query_count(31, 8)
+    assert 600 <= ret_batch.num_aggregates <= 1000
+
+
+def test_sigma_matches_design_matrix(favorita_db):
+    spec = FeatureSpec(
+        label="units",
+        continuous=("txns", "price"),
+        categorical=("store", "promo", "family"),
+    )
+    engine = LMFAO(favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    run = engine.run(covariance_batch(spec))
+    sigma, index, count = assemble_sigma(spec, run.results)
+
+    pipeline = MaterializedPipeline(favorita_db)
+    join = pipeline.join
+    rows = {a: join.column(a) for a in spec.all_attributes}
+    x = encode_rows(index, rows)
+    x[:, index.label_column] = join.column(spec.label)
+    reference = x.T @ x
+    assert count == join.num_rows
+    assert np.allclose(sigma, reference)
+
+
+def test_sigma_is_symmetric_psd(favorita_db, favorita_engine):
+    spec = FeatureSpec(label="units", continuous=("txns",), categorical=("stype",))
+    run = favorita_engine.run(covariance_batch(spec))
+    sigma, _, _ = assemble_sigma(spec, run.results)
+    assert np.allclose(sigma, sigma.T)
+    eigenvalues = np.linalg.eigvalsh(sigma)
+    assert eigenvalues.min() >= -1e-8 * max(1.0, eigenvalues.max())
+
+
+def test_feature_index_layout(favorita_db, favorita_engine):
+    spec = FeatureSpec(label="units", continuous=("txns",), categorical=("promo",))
+    run = favorita_engine.run(covariance_batch(spec))
+    _, index, _ = assemble_sigma(spec, run.results)
+    names = index.column_names()
+    assert names[0] == "1"
+    assert names[1] == "units"
+    assert names[2] == "txns"
+    assert all(n.startswith("promo=") for n in names[3:])
+    assert index.dimension == len(names)
+
+
+def test_spec_validation(favorita_db):
+    from repro.util.errors import QueryError
+
+    with pytest.raises(QueryError):
+        FeatureSpec(label="units", continuous=("units",), categorical=())
+    spec = favorita_features(favorita_db)
+    spec.validate_against(favorita_db.schema)
+    bad = FeatureSpec(label="nope", continuous=(), categorical=())
+    with pytest.raises(Exception):
+        bad.validate_against(favorita_db.schema)
+
+
+def test_infer_features(favorita_db):
+    from repro.ml.features import infer_features
+
+    spec = infer_features(favorita_db, label="units")
+    assert "txns" in spec.continuous
+    assert "units" not in spec.continuous
+    assert spec.num_features > 5

@@ -1,0 +1,78 @@
+"""Weighted k-means invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import weighted_kmeans
+from repro.ml.kmeans import weighted_inertia
+
+
+def test_separated_clusters_found():
+    rng = np.random.default_rng(0)
+    a = rng.normal(0.0, 0.1, size=(40, 2))
+    b = rng.normal(10.0, 0.1, size=(40, 2))
+    points = np.vstack([a, b])
+    result = weighted_kmeans(points, None, k=2, seed=1)
+    centers = sorted(result.centroids[:, 0])
+    assert centers[0] == pytest.approx(0.0, abs=0.2)
+    assert centers[1] == pytest.approx(10.0, abs=0.2)
+
+
+def test_weights_pull_centroids():
+    points = np.array([[0.0], [1.0]])
+    heavy_left = weighted_kmeans(points, np.array([100.0, 1.0]), k=1, seed=0)
+    assert heavy_left.centroids[0, 0] == pytest.approx(100.0 / 101.0 * 0.0 + 1.0 / 101.0)
+
+
+def test_k_clamped_to_distinct_points():
+    points = np.array([[1.0], [1.0], [2.0]])
+    result = weighted_kmeans(points, None, k=5, seed=0)
+    assert result.k == 2
+
+
+def test_1d_input_accepted():
+    result = weighted_kmeans(np.array([1.0, 2.0, 3.0]), None, k=2, seed=0)
+    assert result.centroids.shape == (2, 1)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        weighted_kmeans(np.empty((0, 2)), None, k=2)
+    with pytest.raises(ValueError):
+        weighted_kmeans(np.ones((3, 1)), np.array([1.0, -1.0, 1.0]), k=2)
+    with pytest.raises(ValueError):
+        weighted_kmeans(np.ones((3, 1)), np.ones(2), k=2)
+
+
+def test_deterministic_under_seed():
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(50, 3))
+    a = weighted_kmeans(points, None, k=4, seed=9)
+    b = weighted_kmeans(points, None, k=4, seed=9)
+    assert np.array_equal(a.centroids, b.centroids)
+
+
+@given(seed=st.integers(0, 100), n=st.integers(3, 40), k=st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_inertia_not_worse_than_single_centroid(seed, n, k):
+    """k centroids are never worse than the weighted mean (k=1 optimum)."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, 2))
+    weights = rng.uniform(0.1, 2.0, size=n)
+    result = weighted_kmeans(points, weights, k=k, seed=seed)
+    mean = (points * weights[:, None]).sum(0) / weights.sum()
+    single = weighted_inertia(points, weights, mean[None, :])
+    assert result.inertia <= single + 1e-7
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=15, deadline=None)
+def test_reported_inertia_matches_centroids(seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(30, 2))
+    weights = rng.uniform(0.5, 1.5, size=30)
+    result = weighted_kmeans(points, weights, k=3, seed=seed)
+    recomputed = weighted_inertia(points, weights, result.centroids)
+    assert result.inertia == pytest.approx(recomputed, rel=1e-9)

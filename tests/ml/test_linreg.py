@@ -1,0 +1,99 @@
+"""Ridge regression: BGD over Σ vs the closed form, predictions."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MaterializedPipeline
+from repro.core import EngineConfig, LMFAO
+from repro.ml import FeatureSpec, train_linear_regression
+from repro.ml.covariance import assemble_sigma, covariance_batch
+from repro.ml.linreg import _objective, closed_form_theta, encode_rows, sigma_from_engine
+from repro.paper import FAVORITA_TREE
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return FeatureSpec(
+        label="units",
+        continuous=("txns", "price"),
+        categorical=("promo", "stype"),
+    )
+
+
+@pytest.fixture(scope="module")
+def trained(favorita_db_module, small_spec):
+    engine = LMFAO(favorita_db_module, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    return engine, train_linear_regression(
+        engine, small_spec, ridge=1e-2, max_iterations=4000, tolerance=1e-12
+    )
+
+
+@pytest.fixture(scope="module")
+def favorita_db_module():
+    from repro.data import favorita
+
+    return favorita(scale=0.05, seed=7)
+
+
+def test_bgd_reaches_closed_form_objective(favorita_db_module, small_spec, trained):
+    engine, model = trained
+    sigma, index, count, _, _ = sigma_from_engine(engine, small_spec)
+    reference = closed_form_theta(sigma, index, count, 1e-2)
+    best = _objective(sigma, reference, count, 1e-2, index.label_column)
+    # first-order BGD reaches the strongly-convex optimum up to a small gap
+    assert model.objective <= best * 1.01
+
+
+def test_objective_trace_monotone(trained):
+    _, model = trained
+    trace = model.objective_trace
+    assert all(b <= a + 1e-12 for a, b in zip(trace, trace[1:]))
+
+
+def test_predictions_against_numpy_ridge(favorita_db_module, small_spec, trained):
+    """BGD predictions must match a scikit-style dense ridge fit."""
+    engine, model = trained
+    pipeline = MaterializedPipeline(favorita_db_module)
+    join = pipeline.join
+    rows = {a: join.column(a) for a in small_spec.all_attributes}
+    x = encode_rows(model.index, rows)
+    x_feat = np.delete(x, model.index.label_column, axis=1)
+    y = join.column(small_spec.label).astype(np.float64)
+    n = len(y)
+    penalties = np.full(x_feat.shape[1], 1e-2)
+    penalties[0] = 0.0  # intercept unpenalised, as in the engine objective
+    w = np.linalg.solve(
+        x_feat.T @ x_feat / n + np.diag(penalties), x_feat.T @ y / n
+    )
+    dense_pred = x_feat @ w
+    model_pred = model.predict_rows(rows)
+    # same objective => same predictions up to optimisation tolerance
+    rmse = np.sqrt(np.mean((dense_pred - model_pred) ** 2))
+    scale = np.sqrt(np.mean(dense_pred**2)) + 1e-9
+    assert rmse / scale < 0.05
+
+
+def test_label_parameter_fixed(trained):
+    _, model = trained
+    assert model.theta[model.index.label_column] == -1.0
+
+
+def test_aggregates_reused_across_iterations(trained):
+    """One aggregate pass, many iterations (the paper's point)."""
+    _, model = trained
+    assert model.iterations > 1
+    assert model.num_aggregates == len(covariance_batch(model.spec))
+
+
+def test_unseen_category_encodes_to_zero(trained):
+    _, model = trained
+    rows = {
+        "units": np.array([0.0]),
+        "txns": np.array([100.0]),
+        "price": np.array([50.0]),
+        "promo": np.array([999]),  # unseen category
+        "stype": np.array([999]),
+    }
+    prediction = model.predict_rows(rows)
+    assert prediction.shape == (1,)
+    assert np.isfinite(prediction[0])

@@ -1,0 +1,52 @@
+"""Sum-product aggregate structure and signatures."""
+
+import pytest
+
+from repro.query import Aggregate, Factor, square
+from repro.query.functions import identity
+from repro.util.errors import QueryError
+
+
+def test_count_has_no_factors():
+    agg = Aggregate.count()
+    assert agg.is_count()
+    assert agg.attributes == ()
+    assert repr(agg) == "SUM(1)"
+
+
+def test_factor_order_is_canonical():
+    a = Aggregate((Factor("x"), Factor("y", square)))
+    b = Aggregate((Factor("y", square), Factor("x")))
+    assert a == b
+    assert a.signature == b.signature
+
+
+def test_duplicate_factors_are_kept():
+    # SUM(x*x) is a product with two identical factors, not SUM(x)
+    agg = Aggregate((Factor("x"), Factor("x")))
+    assert len(agg.factors) == 2
+    assert agg.attributes == ("x",)
+    assert agg != Aggregate.sum("x")
+
+
+def test_with_factor_extends_product():
+    base = Aggregate.sum("x")
+    extended = base.with_factor(Factor("y"))
+    assert len(extended.factors) == 2
+    assert base != extended
+
+
+def test_sum_helper_uses_identity():
+    agg = Aggregate.sum("x")
+    assert agg.factors[0].function is identity
+
+
+def test_validate_against():
+    agg = Aggregate.sum("x")
+    agg.validate_against(("x", "y"))
+    with pytest.raises(QueryError):
+        agg.validate_against(("y",))
+
+
+def test_signature_distinguishes_functions():
+    assert Aggregate.sum("x").signature != Aggregate.sum("x", square).signature

@@ -1,0 +1,66 @@
+"""User-defined function wrappers and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.query import Function, FunctionRegistry, identity, indicator, one, square
+from repro.util.errors import QueryError
+
+
+def test_builtins():
+    x = np.array([1.0, -2.0, 3.0])
+    assert list(identity(x)) == [1.0, -2.0, 3.0]
+    assert list(one(x)) == [1.0, 1.0, 1.0]
+    assert list(square(x)) == [1.0, 4.0, 9.0]
+
+
+def test_scalar_application():
+    assert square.scalar(3) == 9.0
+    assert identity.scalar(7) == 7.0
+
+
+def test_function_equality_is_by_name():
+    f1 = Function("f", lambda x: x)
+    f2 = Function("f", lambda x: x * 2)
+    assert f1 == f2  # names identify functions structurally
+
+
+def test_function_requires_name():
+    with pytest.raises(QueryError):
+        Function("", lambda x: x)
+
+
+@pytest.mark.parametrize(
+    "op,value,inputs,expected",
+    [
+        ("<=", 2.0, [1, 2, 3], [1.0, 1.0, 0.0]),
+        (">=", 2.0, [1, 2, 3], [0.0, 1.0, 1.0]),
+        ("<", 2.0, [1, 2, 3], [1.0, 0.0, 0.0]),
+        (">", 2.0, [1, 2, 3], [0.0, 0.0, 1.0]),
+        ("==", 2.0, [1, 2, 3], [0.0, 1.0, 0.0]),
+        ("!=", 2.0, [1, 2, 3], [1.0, 0.0, 1.0]),
+    ],
+)
+def test_indicator(op, value, inputs, expected):
+    fn = indicator(op, value)
+    assert list(fn(np.array(inputs))) == expected
+
+
+def test_indicator_names_are_canonical():
+    assert indicator("<=", 2.0).name == indicator("<=", 2).name
+    assert indicator("<=", 2.5).name != indicator("<=", 2.0).name
+    with pytest.raises(QueryError):
+        indicator("~", 1.0)
+
+
+def test_registry_registration():
+    reg = FunctionRegistry()
+    assert "id" in reg and "sq" in reg
+    fn = Function("custom", lambda x: x + 1)
+    reg.register(fn)
+    assert reg.get("custom") is fn
+    reg.register(fn)  # same object: fine
+    with pytest.raises(QueryError):
+        reg.register(Function("custom", lambda x: x))
+    with pytest.raises(QueryError):
+        reg.get("missing")

@@ -1,0 +1,85 @@
+"""The SQL-ish parser: every shape the paper writes, plus error cases."""
+
+import pytest
+
+from repro.query import Aggregate, Factor, FunctionRegistry, Function, parse_query
+from repro.query.functions import square
+from repro.util.errors import ParseError, QueryError
+
+
+def test_scalar_sum():
+    q = parse_query("SELECT SUM(units) FROM D", "Q1")
+    assert q.name == "Q1"
+    assert q.group_by == ()
+    assert q.aggregates == (Aggregate.sum("units"),)
+
+
+def test_count():
+    q = parse_query("SELECT SUM(1) FROM D")
+    assert q.aggregates == (Aggregate.count(),)
+
+
+def test_group_by_with_udf():
+    reg = FunctionRegistry()
+    g = reg.register(Function("g", lambda x: x))
+    h = reg.register(Function("h", lambda x: x))
+    q = parse_query(
+        "SELECT store, SUM(g(item)*h(date)) FROM D GROUP BY store", "Q2", reg
+    )
+    assert q.group_by == ("store",)
+    assert q.aggregates == (Aggregate((Factor("item", g), Factor("date", h))),)
+
+
+def test_multi_aggregate_and_where():
+    q = parse_query(
+        "SELECT SUM(1), SUM(y), SUM(sq(y)) FROM D WHERE x <= 3 AND z != 1"
+    )
+    assert len(q.aggregates) == 3
+    assert q.aggregates[2] == Aggregate.sum("y", square)
+    assert len(q.where) == 2
+    assert q.where[0].attribute == "x"
+
+
+def test_case_insensitive_keywords():
+    q = parse_query("select store, sum(units) from D group by store")
+    assert q.group_by == ("store",)
+
+
+def test_multi_group_by():
+    q = parse_query("SELECT a, b, SUM(1) FROM D GROUP BY a, b")
+    assert q.group_by == ("a", "b")
+
+
+def test_where_all_operators():
+    q = parse_query(
+        "SELECT SUM(1) FROM D WHERE a <= 1 AND b >= 2 AND c < 3 AND d > 4 "
+        "AND e == 5 AND f != 6 AND g = 7 AND h <> 8"
+    )
+    assert [p.op.value for p in q.where] == [
+        "<=", ">=", "<", ">", "==", "!=", "==", "!=",
+    ]
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "SELECT store FROM D GROUP BY store",  # no aggregate
+        "SELECT a, SUM(1) FROM D",  # select attr without group by
+        "SELECT SUM(1) FROM D GROUP BY a",  # group by without select attr
+        "SELECT SUM(2*x) FROM D",  # literal other than 1
+        "SELECT SUM(x) FROM",  # truncated
+        "SELECT SUM(x FROM D",  # unbalanced
+        "SELECT SUM(1) FROM D WHERE x <= y",  # non-constant comparison
+        "FROM D",  # no select
+        "SELECT SUM(g(item)) FROM D",  # unknown function
+        "SELECT SUM(1) FROM D ; DROP",  # trailing garbage
+    ],
+)
+def test_parse_errors(text):
+    with pytest.raises(QueryError):  # ParseError or unknown-function errors
+        parse_query(text)
+
+
+def test_sum_of_square_via_repeated_factor():
+    q = parse_query("SELECT SUM(y*y) FROM D")
+    assert q.aggregates[0] == Aggregate((Factor("y"), Factor("y")))

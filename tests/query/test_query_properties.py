@@ -1,0 +1,57 @@
+"""Property tests for the query layer's canonical forms."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import Aggregate, Factor, parse_query
+from repro.query.functions import identity, square
+
+_ATTRS = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+_FUNCS = st.sampled_from([identity, square])
+
+
+@st.composite
+def factors(draw):
+    return Factor(draw(_ATTRS), draw(_FUNCS))
+
+
+@given(fs=st.lists(factors(), max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_aggregate_order_insensitive(fs):
+    """Any permutation of the factor multiset is the same aggregate."""
+    import random
+
+    shuffled = list(fs)
+    random.Random(0).shuffle(shuffled)
+    assert Aggregate(tuple(fs)) == Aggregate(tuple(shuffled))
+    assert Aggregate(tuple(fs)).signature == Aggregate(tuple(shuffled)).signature
+
+
+@given(fs=st.lists(factors(), min_size=1, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_aggregate_repr_parses_back(fs):
+    """repr of an aggregate is valid query syntax for the built-ins."""
+    aggregate = Aggregate(tuple(fs))
+    text = f"SELECT {repr(aggregate)} FROM D"
+    parsed = parse_query(text)
+    assert parsed.aggregates == (aggregate,)
+
+
+@given(
+    gb=st.lists(_ATTRS, unique=True, max_size=3),
+    fs=st.lists(factors(), min_size=1, max_size=3),
+)
+@settings(max_examples=50, deadline=None)
+def test_query_round_trip_through_parser(gb, fs):
+    from repro.query import Query
+
+    query = Query("q", group_by=tuple(gb), aggregates=(Aggregate(tuple(fs)),))
+    select = ", ".join(list(gb) + [repr(a) for a in query.aggregates])
+    text = f"SELECT {select} FROM D"
+    if gb:
+        text += " GROUP BY " + ", ".join(gb)
+    parsed = parse_query(text, "q")
+    assert parsed.group_by == query.group_by
+    assert parsed.aggregates == query.aggregates

@@ -1,0 +1,132 @@
+"""Hypothesis strategies: random acyclic databases and query batches.
+
+The differential property test is the correctness anchor of the repo: for
+any tree-shaped schema, any data and any sum-product aggregate batch, the
+LMFAO engine must agree with brute-force evaluation over the materialised
+join. These strategies generate such instances, deliberately small (the
+oracle is quadratic-ish) but structurally diverse: variable tree shapes,
+shared group-by attributes, empty-join corners, duplicate rows, predicates
+and multi-aggregate queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.data.catalog import Database
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, RelationSchema
+from repro.query.aggregates import Aggregate, Factor
+from repro.query.batch import QueryBatch
+from repro.query.functions import identity, square
+from repro.query.predicates import Op, Predicate
+from repro.query.query import Query
+
+
+@dataclass
+class Instance:
+    """One generated test case: database plus batch."""
+
+    db: Database
+    batch: QueryBatch
+
+    def __repr__(self) -> str:  # keep hypothesis failure output readable
+        rels = ", ".join(
+            f"{r.name}({','.join(r.attribute_names)})x{r.num_rows}"
+            for r in self.db.relations
+        )
+        return f"Instance[{rels}; {list(self.batch.queries)}]"
+
+
+@st.composite
+def databases(draw, max_relations: int = 4, max_rows: int = 24) -> Database:
+    """Tree-shaped random databases.
+
+    Relation ``R0`` is the root; each later relation shares exactly one
+    join attribute with a previously created relation, which guarantees an
+    acyclic (tree) schema. Every relation gets 0–2 private attributes
+    (categorical or continuous) and small integer-valued columns so that
+    joins have collisions and group-bys have repeats.
+    """
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    num_relations = draw(st.integers(2, max_relations))
+    attr_counter = 0
+
+    def fresh_attr(kind: str) -> Attribute:
+        nonlocal attr_counter
+        attr_counter += 1
+        name = f"{kind[0]}{attr_counter}"
+        return (
+            Attribute.categorical(name)
+            if kind == "key" or kind == "cat"
+            else Attribute.continuous(name)
+        )
+
+    relations: list[Relation] = []
+    join_attrs: list[Attribute] = []
+    for i in range(num_relations):
+        attrs: list[Attribute] = []
+        if i == 0:
+            attrs.append(fresh_attr("key"))
+        else:
+            parent_attr = draw(st.sampled_from(join_attrs))
+            attrs.append(parent_attr)
+            if draw(st.booleans()):
+                attrs.append(fresh_attr("key"))
+        for _ in range(draw(st.integers(0, 2))):
+            attrs.append(fresh_attr(draw(st.sampled_from(["cat", "num"]))))
+        join_attrs.extend(a for a in attrs if a.name.startswith("k"))
+
+        num_rows = draw(st.integers(0, max_rows))
+        columns = {}
+        for attr in attrs:
+            if attr.name.startswith("k"):
+                columns[attr.name] = rng.integers(0, 5, size=num_rows)
+            elif attr.kind.name == "CATEGORICAL":
+                columns[attr.name] = rng.integers(0, 4, size=num_rows)
+            else:
+                columns[attr.name] = rng.integers(-3, 7, size=num_rows).astype(float)
+        relations.append(Relation(RelationSchema(f"R{i}", tuple(attrs)), columns))
+    return Database(relations, name="random")
+
+
+@st.composite
+def queries_for(draw, db: Database, name: str) -> Query:
+    """A random sum-product group-by aggregate over ``db``."""
+    attrs = list(db.schema.all_attributes)
+    group_by = tuple(
+        draw(
+            st.lists(st.sampled_from(attrs), max_size=2, unique=True)
+        )
+    )
+    aggregates = []
+    for _ in range(draw(st.integers(1, 3))):
+        num_factors = draw(st.integers(0, 3))
+        factors = []
+        for _ in range(num_factors):
+            attr = draw(st.sampled_from(attrs))
+            func = draw(st.sampled_from([identity, square]))
+            factors.append(Factor(attr, func))
+        aggregates.append(Aggregate(tuple(factors)))
+    where = ()
+    if draw(st.booleans()):
+        attr = draw(st.sampled_from(attrs))
+        op = draw(st.sampled_from(list(Op)))
+        where = (Predicate(attr, op, float(draw(st.integers(-2, 6)))),)
+    return Query(
+        name=name, group_by=group_by, aggregates=tuple(aggregates), where=where
+    )
+
+
+@st.composite
+def instances(draw, max_queries: int = 3) -> Instance:
+    """A database plus a batch of random queries over it."""
+    db = draw(databases())
+    num_queries = draw(st.integers(1, max_queries))
+    batch = QueryBatch(
+        [draw(queries_for(db, f"Q{i}")) for i in range(num_queries)]
+    )
+    return Instance(db=db, batch=batch)
