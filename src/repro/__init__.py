@@ -23,6 +23,7 @@ regression, CART regression trees, and Rk-means clustering.
 
 from repro.baselines import MaterializedPipeline, SqlEngineBaseline
 from repro.core import CompiledBatch, EngineConfig, LMFAO, RunResult
+from repro.incremental import ApplyResult, MaintainedBatch, RelationDelta
 from repro.data import (
     Attribute,
     AttributeKind,
@@ -38,6 +39,7 @@ from repro.jointree import JoinTree, assign_roots, build_join_tree
 from repro.ml import (
     CartConfig,
     FeatureSpec,
+    IncrementalLinearRegression,
     RegressionTree,
     favorita_features,
     retailer_features,
@@ -61,6 +63,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Aggregate",
+    "ApplyResult",
     "Attribute",
     "AttributeKind",
     "CartConfig",
@@ -72,8 +75,10 @@ __all__ = [
     "FeatureSpec",
     "Function",
     "FunctionRegistry",
+    "IncrementalLinearRegression",
     "JoinTree",
     "LMFAO",
+    "MaintainedBatch",
     "MaterializedPipeline",
     "Op",
     "Predicate",
@@ -81,6 +86,7 @@ __all__ = [
     "QueryBatch",
     "RegressionTree",
     "Relation",
+    "RelationDelta",
     "RelationSchema",
     "RunResult",
     "SqlEngineBaseline",

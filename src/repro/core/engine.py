@@ -26,14 +26,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
 from repro.core.codegen import CompiledGroup, generate_group
 from repro.core.decompose import decompose_group
 from repro.core.groups import GroupPlan, build_groups
 from repro.core.orders import GroupOrder, order_group
 from repro.core.plan import MultiOutputPlan
-from repro.core.runtime import GroupEnvironment
+from repro.core.runtime import execute_plan, node_trie
 from repro.core.viewgen import ViewGenerator, ViewPlan
 from repro.data.catalog import Database
 from repro.data.relation import Relation
@@ -54,7 +52,8 @@ from repro.util.timer import Stopwatch
 class EngineConfig:
     """Engine options; the defaults are full-LMFAO.
 
-    Each switch disables one optimisation layer for ablation studies:
+    Optimisation switches (toggled by the ablation benchmarks; the first
+    four are on by default and each ``=False`` disables one layer):
 
     ``merge_views=False``
         no cross-query view merging (each query keeps its own views);
@@ -63,12 +62,48 @@ class EngineConfig:
     ``factorize=False``
         no γ/β sharing or pushdown — every term is evaluated at the
         deepest loop level of its artifact;
+    ``share_scan_terms=False``
+        no hoisting of repeated term reads in the generated code — every
+        γ/β update re-evaluates its trie/prefix-sum expressions;
+    ``push_shared_predicates=True``
+        (off by default) predicates common to all queries become physical
+        filters on the base relations instead of indicator factors;
     ``single_root``
         force every query onto one root (``"auto"`` = largest relation),
-        the paper's strawman of one rooted tree for the whole batch;
-    ``push_shared_predicates=True``
-        predicates common to all queries become physical filters on the
-        base relations instead of indicator factors.
+        the paper's strawman of one rooted tree for the whole batch.
+
+    Planning overrides:
+
+    ``root_override``
+        query name → join-tree node, pinning individual query roots (the
+        remaining queries keep the cost-based assignment);
+    ``join_tree_edges``
+        explicit join-tree edge list instead of the constructed tree —
+        how tests pin the paper's Figure 2 tree.
+
+    Execution:
+
+    ``workers``
+        number of threads executing independent groups of the dependency
+        DAG concurrently (1 = sequential);
+    ``backend``
+        ``"python"`` (specialised Python over the trie runtime) or ``"c"``
+        (generated C compiled with gcc, per-group fallback to Python when
+        a plan uses carried blocks or non-integer keys).
+
+    Incremental maintenance (see :meth:`LMFAO.maintain`):
+
+    ``incremental_mode``
+        how :meth:`MaintainedBatch.apply` refreshes a dirty group:
+        ``"numeric"`` applies O(|Δ|) view deltas computed over a trie of
+        just the changed tuples (insert-only changes at the group's own
+        node), ``"rescan"`` re-executes the group over its cached full
+        trie, ``"auto"`` (default) uses numeric where it is exact and
+        falls back to rescan (deletes, or upstream view changes);
+    ``incremental_cutoff=False``
+        disable delta cutoff: downstream groups re-run even when a
+        refreshed view turned out identical (ablation of the dirty-path
+        scheduler).
     """
 
     merge_views: bool = True
@@ -80,10 +115,9 @@ class EngineConfig:
     root_override: dict[str, str] | None = None
     join_tree_edges: tuple[tuple[str, str], ...] | None = None
     workers: int = 1
-    #: ``"python"`` (specialised Python over the trie runtime) or ``"c"``
-    #: (generated C compiled with gcc, per-group fallback to Python when a
-    #: plan uses carried blocks or non-integer keys).
     backend: str = "python"
+    incremental_mode: str = "auto"
+    incremental_cutoff: bool = True
 
 
 @dataclass
@@ -249,6 +283,22 @@ class LMFAO:
             compiled = self.compile(batch)
         return self.execute(compiled, watch=watch)
 
+    # -------------------------------------------------------------- incremental
+    def maintain(self, batch: QueryBatch):
+        """Compile a batch once and keep its results maintained under updates.
+
+        Returns a :class:`repro.incremental.MaintainedBatch` handle: the
+        batch is compiled and executed once, then ``handle.apply(inserts=...,
+        deletes=...)`` updates base relations and propagates deltas only
+        through the affected views of the compiled DAG — no re-planning, no
+        recompilation, no full rescans of untouched join-tree nodes. See
+        ``incremental_mode`` / ``incremental_cutoff`` on
+        :class:`EngineConfig` for the maintenance strategy switches.
+        """
+        from repro.incremental.maintain import MaintainedBatch
+
+        return MaintainedBatch(self, self.compile(batch))
+
     def execute(self, compiled: CompiledBatch, watch: Stopwatch | None = None) -> RunResult:
         """Execute an already compiled batch."""
         watch = watch or Stopwatch()
@@ -265,19 +315,15 @@ class LMFAO:
             start = time.perf_counter()
             trie = self._trie(plan.node, plan.order, compiled.shared_predicates)
             native = compiled.c_groups[index] if compiled.c_groups else None
-            if native is not None:
-                outputs = native.execute(
-                    trie, view_data, view_group_by, compiled.functions
-                )
-            else:
-                env = GroupEnvironment(
-                    plan=plan,
-                    trie=trie,
-                    view_data=view_data,
-                    view_group_by=view_group_by,
-                    functions=compiled.functions,
-                )
-                outputs = compiled.code[index](env)
+            outputs = execute_plan(
+                compiled.code[index],
+                native,
+                plan,
+                trie,
+                view_data,
+                view_group_by,
+                compiled.functions,
+            )
             for emission in plan.emissions:
                 if emission.kind == "view":
                     view_data[emission.artifact] = outputs[emission.artifact]
@@ -319,21 +365,7 @@ class LMFAO:
     def _trie(
         self, node: str, order: tuple[str, ...], shared: tuple[Predicate, ...]
     ) -> TrieIndex:
-        local = tuple(
-            p for p in shared if p.attribute in self.db.schema.relation(node).attribute_names
-        )
-        key = (node, order, tuple(p.signature for p in local))
-        trie = self._trie_cache.get(key)
-        if trie is None:
-            relation = self.db.relation(node)
-            if local:
-                mask = np.ones(relation.num_rows, dtype=bool)
-                for pred in local:
-                    mask &= pred.evaluate(relation.column(pred.attribute))
-                relation = relation.filter(mask)
-            trie = TrieIndex(relation, order)
-            self._trie_cache[key] = trie
-        return trie
+        return node_trie(self.db, node, order, shared, self._trie_cache)
 
     def _run_parallel(self, compiled: CompiledBatch, run_group) -> None:
         remaining = {

@@ -305,6 +305,27 @@ class MultiOutputPlan:
                 return b
         raise KeyError(view)
 
+    # ------------------------------------------------- delta-aware introspection
+    @property
+    def consumed_views(self) -> tuple[str, ...]:
+        """Names of the incoming views this plan probes (its delta inputs).
+
+        Incremental maintenance marks a group dirty when any of these views
+        changed in the current apply round — the binding list *is* the
+        group's dependency frontier in the view DAG.
+        """
+        return tuple(b.view for b in self.bindings)
+
+    @property
+    def produced_views(self) -> tuple[str, ...]:
+        """Names of the views this plan emits (its delta outputs)."""
+        return tuple(e.artifact for e in self.emissions if e.kind == "view")
+
+    @property
+    def produced_queries(self) -> tuple[str, ...]:
+        """Names of the query outputs this plan emits."""
+        return tuple(e.artifact for e in self.emissions if e.kind == "query")
+
     def statistics(self) -> dict[str, int]:
         """Operation-count statistics for plan-shape assertions and benches."""
         return {

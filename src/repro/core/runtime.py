@@ -120,3 +120,66 @@ class GroupEnvironment:
             self.bindings[binding.view] = reshape_binding(
                 binding, view_group_by[binding.view], data
             )
+
+
+def local_predicates(relation_attrs, predicates) -> tuple:
+    """The pushed-down predicates applicable to one relation."""
+    return tuple(p for p in predicates if p.attribute in relation_attrs)
+
+
+def apply_predicates(relation: Relation, predicates) -> Relation:
+    """Physically filter a relation by a predicate conjunction."""
+    if not predicates:
+        return relation
+    mask = np.ones(relation.num_rows, dtype=bool)
+    for pred in predicates:
+        mask &= pred.evaluate(relation.column(pred.attribute))
+    return relation.filter(mask)
+
+
+def node_trie(db, node: str, order: tuple[str, ...], shared, cache: dict) -> TrieIndex:
+    """The cached trie index for one node under pushed-down predicates.
+
+    The cache key — ``(node, order, local predicate signatures)`` — is
+    defined here, once: the engine's cross-run cache and the incremental
+    maintainer's per-handle cache must agree on it, since a handle seeds
+    its cache from the engine's.
+    """
+    local = local_predicates(db.schema.relation(node).attribute_names, shared)
+    key = (node, order, tuple(p.signature for p in local))
+    trie = cache.get(key)
+    if trie is None:
+        trie = TrieIndex(apply_predicates(db.relation(node), local), order)
+        cache[key] = trie
+    return trie
+
+
+def execute_plan(
+    code,
+    native,
+    plan: MultiOutputPlan,
+    trie: TrieIndex,
+    view_data: Mapping[str, ViewData],
+    view_group_by: Mapping[str, tuple[str, ...]],
+    functions: Mapping[str, Function],
+) -> dict[str, dict]:
+    """Run one compiled group over a trie and incoming view contents.
+
+    ``native`` is the group's C implementation (or None for the Python
+    backend); ``code`` the generated-Python :class:`CompiledGroup`. Both the
+    batch executor and the incremental maintainer call this — the
+    maintainer additionally passes *delta* tries (an index over just the
+    inserted tuples) to obtain per-view deltas from the very same compiled
+    code, since every emitted slot is a sum over the node's rows and
+    therefore linear in the row multiset.
+    """
+    if native is not None:
+        return native.execute(trie, view_data, view_group_by, functions)
+    env = GroupEnvironment(
+        plan=plan,
+        trie=trie,
+        view_data=view_data,
+        view_group_by=view_group_by,
+        functions=functions,
+    )
+    return code(env)

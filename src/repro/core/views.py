@@ -29,6 +29,15 @@ class AggRef:
     index: int
 
 
+def _referenced_views(aggregates) -> tuple[str, ...]:
+    """Distinct child-view names any of the aggregates reference, in order."""
+    seen: dict[str, None] = {}
+    for aggregate in aggregates:
+        for ref in aggregate.refs:
+            seen.setdefault(ref.view, None)
+    return tuple(seen)
+
+
 @dataclass(frozen=True)
 class ViewAggregate:
     """One aggregate of a view or output: ``SUM(∏ factors × ∏ child refs)``.
@@ -105,6 +114,17 @@ class View:
             raise PlanError(f"view {self.name} has no aggregate {index}")
         return AggRef(self.name, index)
 
+    @property
+    def referenced_views(self) -> tuple[str, ...]:
+        """Names of the child views any aggregate of this view consumes.
+
+        These are the inbound edges of the view DAG that incremental
+        maintenance walks: a change to a base relation dirties the views
+        computed at its node, then every view reachable through this
+        relation — the path from the node to each query root.
+        """
+        return _referenced_views(self.aggregates)
+
     def __repr__(self) -> str:
         gb = ",".join(self.group_by)
         return (
@@ -132,6 +152,11 @@ class Output:
     @property
     def group_by(self) -> tuple[str, ...]:
         return self.query.group_by
+
+    @property
+    def referenced_views(self) -> tuple[str, ...]:
+        """Names of the views this output consumes (see :attr:`View.referenced_views`)."""
+        return _referenced_views(self.aggregates)
 
     def __repr__(self) -> str:
         return f"Output({self.name}@{self.node}, aggs={len(self.aggregates)})"

@@ -144,6 +144,80 @@ class Relation:
         schema = RelationSchema(new_name, self.schema.attributes)
         return Relation(schema, dict(self._columns))
 
+    # ------------------------------------------------------------------ updates
+    def concat(self, other: "Relation") -> "Relation":
+        """Append another instance of the same schema (bag union).
+
+        The incremental-maintenance append path: inserted tuples arrive as a
+        delta relation and are concatenated column-wise. Attribute names and
+        order must match; the result keeps this relation's schema.
+        """
+        if other.attribute_names != self.attribute_names:
+            raise SchemaError(
+                f"cannot append {other.name} to {self.name}: attributes "
+                f"{other.attribute_names} != {self.attribute_names}"
+            )
+        if other.num_rows == 0:
+            return self
+        return Relation(
+            self.schema,
+            {
+                name: np.concatenate([self._columns[name], other.column(name)])
+                for name in self.attribute_names
+            },
+        )
+
+    def remove_rows(self, other: "Relation") -> "Relation":
+        """Remove one occurrence per tuple of ``other`` (bag difference).
+
+        The incremental-maintenance tombstone path: each delete tuple marks
+        exactly one matching row; duplicates in ``other`` remove that many
+        occurrences. Raises :class:`SchemaError` when a tuple has no
+        remaining match — a delete of a non-existent row is always a bug in
+        the caller's delta, never silently ignored.
+        """
+        if other.attribute_names != self.attribute_names:
+            raise SchemaError(
+                f"cannot delete {other.name} rows from {self.name}: attributes "
+                f"{other.attribute_names} != {self.attribute_names}"
+            )
+        if other.num_rows == 0:
+            return self
+        # Vectorised multiset matching: pack rows into structured arrays,
+        # sort this relation once, then binary-search each distinct delete
+        # row's run. Python-level work is O(distinct delete rows), never
+        # O(|relation|).
+        names = list(self.attribute_names)
+        mine = np.rec.fromarrays([self._columns[n] for n in names], names=names)
+        gone = np.sort(
+            np.rec.fromarrays([other.column(n) for n in names], names=names)
+        )
+        order = np.argsort(mine, kind="stable")
+        sorted_mine = mine[order]
+        run_starts = np.flatnonzero(np.concatenate(([True], gone[1:] != gone[:-1])))
+        run_ends = np.append(run_starts[1:], len(gone))
+        keep = np.ones(self._num_rows, dtype=bool)
+        missing = 0
+        example = None
+        for start, end in zip(run_starts, run_ends):
+            row = gone[start]
+            wanted = end - start
+            lo = np.searchsorted(sorted_mine, row, side="left")
+            hi = np.searchsorted(sorted_mine, row, side="right")
+            available = hi - lo
+            if available < wanted:
+                missing += wanted - available
+                if example is None:
+                    example = row.item()
+                wanted = available
+            keep[order[lo : lo + wanted]] = False
+        if missing:
+            raise SchemaError(
+                f"delete from {self.name}: {missing} tuple(s) not present, "
+                f"e.g. {example}"
+            )
+        return self.filter(keep)
+
     # ------------------------------------------------------------------- access
     def iter_rows(self) -> Iterator[tuple[object, ...]]:
         """Iterate tuples in storage order (testing / small data only)."""

@@ -159,6 +159,19 @@ class TrieIndex:
         """Number of distinct prefixes of length ``k+1``."""
         return self._levels[k].num_runs
 
+    # ------------------------------------------------------------------ rebuild
+    def rebuilt(self, relation: Relation) -> "TrieIndex":
+        """A fresh index over an updated instance, same attribute order.
+
+        This is the *partitioned rebuild* of incremental maintenance: when a
+        base relation changes, only the tries of that one join-tree node are
+        reconstructed (one ``lexsort`` of the updated instance); every other
+        node's index — including its prefix-sum registers and cached level
+        lists — survives untouched in the caches keyed by (node, order,
+        filter).
+        """
+        return TrieIndex(relation, self.order)
+
     # ----------------------------------------------- interpreter/codegen views
     def level_lists(self, k: int) -> tuple[list, list, list, list, list]:
         """Level ``k`` arrays as plain Python lists (cached).

@@ -1,0 +1,33 @@
+"""Incremental view maintenance over the compiled view DAG.
+
+LMFAO's advantage is that a batch of aggregates compiles into one shared
+DAG of directional views. This package keeps that DAG's materialised state
+alive across data changes instead of recomputing it:
+
+* :mod:`repro.incremental.delta` — delta relations (insert/delete bags per
+  base relation, with append/tombstone application);
+* :mod:`repro.incremental.rules` — per-view delta rules and the static
+  dirty-path structure (which views an update can reach);
+* :mod:`repro.incremental.maintain` — the :class:`MaintainedBatch` handle
+  returned by :meth:`repro.core.engine.LMFAO.maintain`, scheduling numeric
+  O(|Δ|) delta steps and full-trie rescans over the dirty path only.
+
+Typical use::
+
+    engine = LMFAO(db)
+    handle = engine.maintain(batch)        # compile + initial run
+    handle.apply(inserts={"Sales": rows})  # O(affected path), not O(db)
+    handle.results["Q1"]                   # refreshed QueryResult
+"""
+
+from repro.incremental.delta import RelationDelta, normalize_deltas
+from repro.incremental.maintain import ApplyResult, MaintainedBatch
+from repro.incremental.rules import DeltaRules
+
+__all__ = [
+    "ApplyResult",
+    "DeltaRules",
+    "MaintainedBatch",
+    "RelationDelta",
+    "normalize_deltas",
+]

@@ -1,0 +1,136 @@
+"""Delta relations: the unit of change handed to incremental maintenance.
+
+A :class:`RelationDelta` describes one base relation's change as a pair of
+bag operations — ``inserts`` (tuples appended) and ``deletes`` (tuples
+removed, matched as a multiset, or a boolean tombstone mask over the current
+instance). :func:`normalize_deltas` coerces the user-facing ``apply(...)``
+arguments (relations, row lists, column dicts, masks) into validated deltas
+against the database schema.
+
+The distinction that matters downstream is :attr:`RelationDelta.insert_only`:
+sum-product aggregates are *linear* in each relation's row multiset, so an
+insert-only delta admits an exact O(|Δ|) numeric maintenance step (run the
+compiled group code over a trie of just the new tuples and add the emitted
+values in). Deletes can silently empty a group — deciding whether a group-by
+key survives needs join support, which the numeric path cannot see — so they
+route to the rescan path instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.catalog import Database
+from repro.data.relation import Relation
+from repro.data.schema import RelationSchema
+from repro.util.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationDelta:
+    """One relation's change: appended tuples, removed tuples, or both.
+
+    ``deletes`` removes one occurrence per tuple (bag difference);
+    ``delete_mask`` marks rows of the *current* instance for removal.
+    Deletes are applied before inserts: a tuple inserted by this delta
+    cannot be deleted by it.
+    """
+
+    relation: str
+    inserts: Relation | None = None
+    deletes: Relation | None = None
+    delete_mask: np.ndarray | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            (self.inserts is None or self.inserts.num_rows == 0)
+            and (self.deletes is None or self.deletes.num_rows == 0)
+            and (self.delete_mask is None or not bool(self.delete_mask.any()))
+        )
+
+    @property
+    def insert_only(self) -> bool:
+        """True when the delta only appends — the numeric fast-path domain."""
+        return (self.deletes is None or self.deletes.num_rows == 0) and (
+            self.delete_mask is None or not bool(self.delete_mask.any())
+        )
+
+    @property
+    def num_inserts(self) -> int:
+        return self.inserts.num_rows if self.inserts is not None else 0
+
+    def apply_to(self, relation: Relation) -> Relation:
+        """The updated instance (deletes first, then inserts)."""
+        result = relation
+        if self.delete_mask is not None:
+            if len(self.delete_mask) != relation.num_rows:
+                raise SchemaError(
+                    f"delete mask for {self.relation} has {len(self.delete_mask)} "
+                    f"entries, relation has {relation.num_rows} rows"
+                )
+            result = result.filter(~self.delete_mask)
+        if self.deletes is not None and self.deletes.num_rows:
+            result = result.remove_rows(self.deletes)
+        if self.inserts is not None and self.inserts.num_rows:
+            result = result.concat(self.inserts)
+        return result
+
+
+def _coerce_relation(schema: RelationSchema, value: object) -> Relation:
+    """Coerce rows / column dicts / relations into an instance of ``schema``."""
+    if isinstance(value, Relation):
+        if value.attribute_names != schema.attribute_names:
+            raise SchemaError(
+                f"delta for {schema.name} has attributes {value.attribute_names}, "
+                f"expected {schema.attribute_names}"
+            )
+        return value.rename(schema.name)
+    if isinstance(value, Mapping):
+        return Relation(schema, value)
+    if isinstance(value, (Sequence, np.ndarray)) and not isinstance(value, (str, bytes)):
+        return Relation.from_rows(schema, value)
+    raise SchemaError(
+        f"cannot interpret delta of type {type(value).__name__} for {schema.name}; "
+        "pass a Relation, a row sequence, a column mapping, or (deletes only) "
+        "a boolean mask"
+    )
+
+
+def normalize_deltas(
+    db: Database,
+    inserts: Mapping[str, object] | None,
+    deletes: Mapping[str, object] | None,
+) -> dict[str, RelationDelta]:
+    """Validate and combine apply() arguments into per-relation deltas."""
+    per_relation: dict[str, dict] = {}
+    for kind, mapping in (("inserts", inserts), ("deletes", deletes)):
+        if not mapping:
+            continue
+        for name, value in mapping.items():
+            if name not in db.relation_names:
+                raise SchemaError(f"{kind} target {name!r} is not a relation")
+            per_relation.setdefault(name, {})[kind] = value
+
+    deltas: dict[str, RelationDelta] = {}
+    for name, parts in per_relation.items():
+        schema = db.relation(name).schema
+        ins = parts.get("inserts")
+        ins_rel = _coerce_relation(schema, ins) if ins is not None else None
+        dels = parts.get("deletes")
+        del_rel = None
+        del_mask = None
+        if dels is not None:
+            if isinstance(dels, np.ndarray) and dels.dtype == np.bool_:
+                del_mask = dels
+            else:
+                del_rel = _coerce_relation(schema, dels)
+        delta = RelationDelta(
+            relation=name, inserts=ins_rel, deletes=del_rel, delete_mask=del_mask
+        )
+        if not delta.is_empty:
+            deltas[name] = delta
+    return deltas

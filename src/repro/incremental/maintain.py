@@ -1,0 +1,339 @@
+"""The maintained-batch handle: compile once, apply deltas many times.
+
+:class:`MaintainedBatch` keeps a compiled batch's entire intermediate state
+alive — every view's contents, every query's raw groups, and the trie
+indexes of every join-tree node — and refreshes exactly the affected slice
+of it per update round:
+
+1. **base update** — each delta is applied to its relation (append /
+   tombstone), and only that node's tries are invalidated (partitioned
+   rebuild; see :meth:`repro.data.trie.TrieIndex.rebuilt`);
+2. **dirty-path walk** — groups run in the compiled execution order, but a
+   group runs at all only when its node's relation changed or one of its
+   incoming views changed this round; everything off the path keeps its
+   cached outputs;
+3. **per-group maintenance** — a dirty group is refreshed either by the
+   **numeric** delta step (insert-only change at its own node: execute the
+   same compiled group code over a trie of just the inserted tuples and add
+   the emitted deltas in — exact because every slot is a sum over the
+   node's rows, hence linear in the row multiset, and key sets only grow
+   under inserts) or by a **rescan** (re-execute over the node's full trie
+   with refreshed inputs — bit-identical to a from-scratch run);
+4. **delta cutoff** — a refreshed view that compares equal to its previous
+   contents stops dirtying its consumers.
+
+No re-planning, no code generation, and no scans of untouched nodes happen
+after construction. ``EngineConfig.incremental_mode`` selects the strategy:
+``"auto"`` (numeric where exact, rescan otherwise), ``"rescan"`` (always
+rescan; the maintained state stays bit-for-bit equal to recomputation), or
+``"numeric"`` (strict: like auto, but a delta containing deletes raises
+*before any state is touched* rather than silently falling back — for
+tests and benchmarks that must not lose the O(|Δ|) path; downstream
+propagation rescans are part of the numeric design and remain allowed).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.engine import CompiledBatch, LMFAO, RunResult, _to_query_result
+from repro.core.runtime import (
+    apply_predicates,
+    execute_plan,
+    local_predicates,
+    node_trie,
+)
+from repro.data.catalog import Database
+from repro.data.trie import TrieIndex
+from repro.incremental.delta import RelationDelta, normalize_deltas
+from repro.incremental.rules import DeltaRules
+from repro.query.query import QueryResult
+from repro.util.errors import PlanError
+
+_MODES = ("auto", "numeric", "rescan")
+
+
+@dataclass
+class ApplyResult:
+    """Outcome of one apply round: refreshed results plus maintenance stats."""
+
+    #: all query results, refreshed in place (shared with the handle).
+    results: dict[str, QueryResult]
+    #: queries whose groups actually changed this round.
+    refreshed_queries: tuple[str, ...]
+    #: views whose contents actually changed this round.
+    refreshed_views: tuple[str, ...]
+    relations_changed: tuple[str, ...]
+    #: groups maintained by the O(|Δ|) numeric step.
+    groups_numeric: int
+    #: groups re-executed over their full (cached) trie.
+    groups_rescanned: int
+    #: groups skipped entirely — off the dirty path or cut off.
+    groups_skipped: int
+    seconds: float
+
+    def __getitem__(self, query_name: str) -> QueryResult:
+        return self.results[query_name]
+
+
+class MaintainedBatch:
+    """A compiled batch plus its maintained state. Built by :meth:`LMFAO.maintain`."""
+
+    def __init__(self, engine: LMFAO, compiled: CompiledBatch) -> None:
+        if engine.config.incremental_mode not in _MODES:
+            raise PlanError(
+                f"unknown incremental_mode {engine.config.incremental_mode!r}; "
+                f"expected one of {_MODES}"
+            )
+        self.compiled = compiled
+        self.config = engine.config
+        self.db: Database = engine.db
+        self.rules = DeltaRules.from_compiled(compiled)
+        self.applies = 0
+        self._view_group_by = {
+            name: view.group_by for name, view in compiled.view_plan.views.items()
+        }
+        # Seed from the engine's cache (shared immutable indexes), but never
+        # write back: invalidation on update is local to this handle.
+        self._tries: dict[tuple, TrieIndex] = dict(engine._trie_cache)
+        self._view_data: dict[str, dict] = {}
+        self._query_raw: dict[str, dict] = {}
+        self._results: dict[str, QueryResult] = {}
+        for index in compiled.execution_order:
+            self._store_outputs(index, self._run_full(index), None)
+        self._refresh_results(set(q.name for q in compiled.batch))
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def results(self) -> dict[str, QueryResult]:
+        """Current (maintained) results, keyed by query name."""
+        return self._results
+
+    def result(self, query_name: str) -> QueryResult:
+        return self._results[query_name]
+
+    def __getitem__(self, query_name: str) -> QueryResult:
+        return self._results[query_name]
+
+    @property
+    def database(self) -> Database:
+        """The current database snapshot (original plus all applied deltas)."""
+        return self.db
+
+    def view_contents(self, view_name: str) -> dict:
+        """Maintained contents of one internal view (inspection/testing)."""
+        return self._view_data[view_name]
+
+    def recompute(self) -> "RunResult":
+        """From-scratch run over the current database — the oracle baseline.
+
+        Builds a fresh engine (cold tries, recompilation) so the comparison
+        in benchmarks and differential tests is honest.
+        """
+        fresh = LMFAO(self.db, self.config)
+        return fresh.run(self.compiled.batch)
+
+    # -------------------------------------------------------------------- apply
+    def apply(self, inserts=None, deletes=None) -> ApplyResult:
+        """Update base relations and propagate deltas through affected views.
+
+        ``inserts`` / ``deletes`` map relation names to tuples to add /
+        remove — each value a :class:`Relation`, a row sequence, a column
+        mapping, or (deletes only) a boolean mask over the current
+        instance. Returns the refreshed results plus per-round stats.
+        """
+        start = time.perf_counter()
+        deltas = normalize_deltas(self.db, inserts, deletes)
+        if self.config.incremental_mode == "numeric":
+            for name, delta in deltas.items():
+                if not delta.insert_only:
+                    raise PlanError(
+                        f"incremental_mode='numeric' cannot maintain deletes "
+                        f"(delta for {name}); use 'auto' or 'rescan'"
+                    )
+        # Stage every relation update before committing any: a delta that
+        # fails to apply (e.g. deleting an absent tuple) must leave the
+        # handle's state — database, tries, views — completely untouched.
+        staged = [
+            (name, delta, delta.apply_to(self.db.relation(name)))
+            for name, delta in deltas.items()
+        ]
+        changed: dict[str, RelationDelta] = {}
+        for name, delta, updated in staged:
+            self.db = self.db.with_relation(updated)
+            self._invalidate_node(name)
+            changed[name] = delta
+
+        numeric = rescanned = skipped = 0
+        changed_views: set[str] = set()
+        refreshed_views: set[str] = set()
+        dirty_queries: set[str] = set()
+        if changed:
+            for index in self.compiled.execution_order:
+                plan = self.compiled.plans[index]
+                node_delta = changed.get(plan.node)
+                upstream_dirty = any(
+                    v in changed_views for v in plan.consumed_views
+                )
+                if node_delta is None and not upstream_dirty:
+                    skipped += 1
+                    continue
+                if self._numeric_applicable(node_delta, upstream_dirty):
+                    outputs = self._run_delta(index, node_delta)
+                    merge = self._merge_delta_outputs
+                    numeric += 1
+                else:
+                    outputs = self._run_full(index)
+                    merge = None
+                    rescanned += 1
+                self._store_outputs(
+                    index,
+                    outputs,
+                    merge,
+                    changed_views=changed_views,
+                    refreshed_views=refreshed_views,
+                    dirty_queries=dirty_queries,
+                )
+            self._refresh_results(dirty_queries)
+        self.applies += 1
+        return ApplyResult(
+            results=self._results,
+            refreshed_queries=tuple(sorted(dirty_queries)),
+            refreshed_views=tuple(sorted(refreshed_views)),
+            relations_changed=tuple(sorted(changed)),
+            groups_numeric=numeric,
+            groups_rescanned=rescanned,
+            groups_skipped=skipped,
+            seconds=time.perf_counter() - start,
+        )
+
+    # ----------------------------------------------------------- group execution
+    def _numeric_applicable(
+        self, node_delta: RelationDelta | None, upstream_dirty: bool
+    ) -> bool:
+        if self.config.incremental_mode == "rescan":
+            return False
+        return (
+            node_delta is not None
+            and node_delta.insert_only
+            and not upstream_dirty
+        )
+
+    def _run_full(self, index: int) -> dict[str, dict]:
+        """Re-execute one group over the full (cached) trie of its node."""
+        plan = self.compiled.plans[index]
+        trie = self._trie(plan.node, plan.order)
+        return self._execute(index, trie)
+
+    def _run_delta(self, index: int, delta: RelationDelta) -> dict[str, dict]:
+        """The numeric step: the same compiled code over the inserted tuples.
+
+        Every emitted slot is ``Σ over node rows`` of a product that does
+        not otherwise depend on the node's row multiset, so the outputs
+        over ``ΔR`` *are* the per-view deltas. Key sets are exact too: under
+        inserts a key exists in the updated view iff it existed before or
+        some inserted tuple supports it — exactly the keys the delta run
+        emits.
+        """
+        plan = self.compiled.plans[index]
+        relation = self._filter_shared(delta.inserts)
+        trie = TrieIndex(relation, plan.order)
+        return self._execute(index, trie)
+
+    def _execute(self, index: int, trie: TrieIndex) -> dict[str, dict]:
+        compiled = self.compiled
+        native = compiled.c_groups[index] if compiled.c_groups else None
+        return execute_plan(
+            compiled.code[index],
+            native,
+            compiled.plans[index],
+            trie,
+            self._view_data,
+            self._view_group_by,
+            compiled.functions,
+        )
+
+    def _store_outputs(
+        self,
+        index: int,
+        outputs: dict[str, dict],
+        merge,
+        changed_views: set[str] | None = None,
+        refreshed_views: set[str] | None = None,
+        dirty_queries: set[str] | None = None,
+    ) -> None:
+        """Adopt (rescan) or add (numeric) one group's outputs; track diffs."""
+        cutoff = self.config.incremental_cutoff
+        for emission in self.compiled.plans[index].emissions:
+            is_view = emission.kind == "view"
+            store = self._view_data if is_view else self._query_raw
+            name = emission.artifact
+            if merge is not None:
+                artifact_changed = merge(store[name], outputs[name])
+            else:
+                old = store.get(name)
+                new = outputs[name]
+                store[name] = new
+                artifact_changed = old is None or old != new
+            if changed_views is None:
+                continue
+            if is_view:
+                if artifact_changed:
+                    refreshed_views.add(name)
+                if artifact_changed or not cutoff:
+                    changed_views.add(name)
+            elif artifact_changed:
+                dirty_queries.add(name)
+
+    @staticmethod
+    def _merge_delta_outputs(target: dict, delta: dict) -> bool:
+        """``target += delta`` per key and slot; True when anything changed.
+
+        A new key is a change even with all-zero values: the inserted rows
+        give it join support, so a from-scratch run would emit it too.
+        """
+        changed = False
+        for key, values in delta.items():
+            current = target.get(key)
+            if current is None:
+                target[key] = list(values)
+                changed = True
+                continue
+            for slot, value in enumerate(values):
+                if value != 0.0:
+                    current[slot] += value
+                    changed = True
+        return changed
+
+    def _refresh_results(self, query_names: set[str]) -> None:
+        for query in self.compiled.batch:
+            if query.name in query_names:
+                self._results[query.name] = _to_query_result(
+                    query, self._query_raw[query.name]
+                )
+
+    # ------------------------------------------------------------------- tries
+    def _invalidate_node(self, node: str) -> None:
+        self._tries = {k: v for k, v in self._tries.items() if k[0] != node}
+
+    def _trie(self, node: str, order: tuple[str, ...]) -> TrieIndex:
+        return node_trie(
+            self.db, node, order, self.compiled.shared_predicates, self._tries
+        )
+
+    def _filter_shared(self, relation):
+        """Apply node-local pushed-down predicates to a delta relation."""
+        return apply_predicates(
+            relation,
+            local_predicates(
+                relation.attribute_names, self.compiled.shared_predicates
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MaintainedBatch(queries={len(self.compiled.batch)}, "
+            f"views={self.compiled.num_views}, groups={self.compiled.num_groups}, "
+            f"applies={self.applies})"
+        )

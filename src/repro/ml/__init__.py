@@ -18,13 +18,19 @@ from repro.ml.covariance import (
 )
 from repro.ml.features import FeatureSpec, favorita_features, retailer_features
 from repro.ml.kmeans import KMeansResult, weighted_kmeans
-from repro.ml.linreg import LinearRegressionModel, train_linear_regression
+from repro.ml.linreg import (
+    IncrementalLinearRegression,
+    LinearRegressionModel,
+    fit_from_results,
+    train_linear_regression,
+)
 from repro.ml.rkmeans import RkMeansResult, rk_means
 
 __all__ = [
     "CartConfig",
     "FeatureIndex",
     "FeatureSpec",
+    "IncrementalLinearRegression",
     "KMeansResult",
     "LinearRegressionModel",
     "RegressionTree",
@@ -33,6 +39,7 @@ __all__ = [
     "cart_node_batch",
     "covariance_batch",
     "favorita_features",
+    "fit_from_results",
     "retailer_features",
     "rk_means",
     "train_linear_regression",

@@ -232,6 +232,28 @@ class RegressionTree:
         self.root = self._grow(engine, path=(), depth=0)
         return self
 
+    def refresh(self, engine: LMFAO) -> "RegressionTree":
+        """Re-grow the tree after the underlying data changed.
+
+        Pass an engine over the updated database — typically
+        ``LMFAO(handle.database, config)`` where ``handle`` is the
+        :class:`~repro.incremental.MaintainedBatch` tracking the updates.
+        Tree growth re-runs (splits are data-dependent, so the per-node
+        batches cannot be maintained ahead of time), but the expensive
+        preparation is reused: candidate thresholds in indicator mode are
+        kept from the original fit, and the engine's trie caches make each
+        node batch a warm re-execution. Counters restart so the refreshed
+        tree reports its own statistics.
+        """
+        self.num_nodes = 0
+        self.aggregates_per_node = 0
+        self.total_aggregates = 0
+        self.aggregate_seconds = 0.0
+        if self.config.mode == "indicator" and not self._thresholds:
+            self._thresholds = self._candidate_thresholds(engine)
+        self.root = self._grow(engine, path=(), depth=0)
+        return self
+
     # ------------------------------------------------------------------ growing
     def _candidate_thresholds(self, engine: LMFAO) -> dict[str, list[float]]:
         """Equi-depth thresholds per continuous feature (one histogram batch)."""

@@ -83,15 +83,22 @@ def sigma_from_engine(
     return sigma, index, count, run.total_time, batch.num_aggregates
 
 
-def train_linear_regression(
-    engine: LMFAO,
+def fit_from_results(
     spec: FeatureSpec,
+    results: dict,
     ridge: float = 1e-3,
     max_iterations: int = 2000,
     tolerance: float = 1e-9,
+    aggregate_seconds: float = 0.0,
+    num_aggregates: int = 0,
 ) -> LinearRegressionModel:
-    """Train ridge linear regression with BGD over LMFAO aggregates."""
-    sigma, index, count, agg_seconds, num_aggs = sigma_from_engine(engine, spec)
+    """Fit the model from already-computed covariance batch results.
+
+    The solve path shared by :func:`train_linear_regression` (one-shot) and
+    :class:`IncrementalLinearRegression` (retraining from maintained Σ
+    aggregates after each data change).
+    """
+    sigma, index, count = assemble_sigma(spec, results)
     theta, iterations, objective, trace, converged, solve_seconds = _bgd(
         sigma, index, count, ridge, max_iterations, tolerance
     )
@@ -101,12 +108,84 @@ def train_linear_regression(
         theta=theta,
         iterations=iterations,
         objective=objective,
-        aggregate_seconds=agg_seconds,
+        aggregate_seconds=aggregate_seconds,
         solve_seconds=solve_seconds,
-        num_aggregates=num_aggs,
+        num_aggregates=num_aggregates,
         converged=converged,
         objective_trace=trace,
     )
+
+
+def train_linear_regression(
+    engine: LMFAO,
+    spec: FeatureSpec,
+    ridge: float = 1e-3,
+    max_iterations: int = 2000,
+    tolerance: float = 1e-9,
+) -> LinearRegressionModel:
+    """Train ridge linear regression with BGD over LMFAO aggregates."""
+    batch = covariance_batch(spec)
+    run = engine.run(batch)
+    return fit_from_results(
+        spec,
+        run.results,
+        ridge=ridge,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        aggregate_seconds=run.total_time,
+        num_aggregates=batch.num_aggregates,
+    )
+
+
+class IncrementalLinearRegression:
+    """Linear regression kept trained under base-data updates.
+
+    Compiles the covariance batch once via :meth:`LMFAO.maintain`; each
+    :meth:`apply` propagates the data change through the maintained view
+    DAG (paying only for the affected path) and re-runs the cheap BGD solve
+    over the refreshed Σ — "the aggregates are computed once and then
+    reused" now extends across data versions, the streaming/online-ML
+    scenario. New category values appearing in (or vanishing from) the
+    maintained histograms resize the one-hot layout automatically on the
+    next refresh.
+    """
+
+    def __init__(
+        self,
+        engine: LMFAO,
+        spec: FeatureSpec,
+        ridge: float = 1e-3,
+        max_iterations: int = 2000,
+        tolerance: float = 1e-9,
+    ) -> None:
+        self.spec = spec
+        self.ridge = ridge
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        batch = covariance_batch(spec)
+        self.num_aggregates = batch.num_aggregates
+        self.handle = engine.maintain(batch)
+        self.last_apply = None
+        self.model = self.refresh()
+
+    def apply(self, inserts=None, deletes=None) -> LinearRegressionModel:
+        """Apply a data change and retrain from the maintained aggregates."""
+        self.last_apply = self.handle.apply(inserts=inserts, deletes=deletes)
+        return self.refresh()
+
+    def refresh(self) -> LinearRegressionModel:
+        """Re-solve from the current maintained Σ (no aggregate recomputation)."""
+        outcome = self.last_apply
+        self.model = fit_from_results(
+            self.spec,
+            self.handle.results,
+            ridge=self.ridge,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            aggregate_seconds=outcome.seconds if outcome is not None else 0.0,
+            num_aggregates=self.num_aggregates,
+        )
+        return self.model
 
 
 def closed_form_theta(

@@ -1,0 +1,122 @@
+"""Delta relations: coercion, validation and base-relation application."""
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, Relation, RelationSchema
+from repro.data.catalog import Database
+from repro.incremental import RelationDelta, normalize_deltas
+from repro.util.errors import SchemaError
+
+_C = Attribute.categorical
+_F = Attribute.continuous
+
+
+@pytest.fixture()
+def tiny_db():
+    r = Relation(
+        RelationSchema("R", (_C("a"), _F("x"))),
+        {"a": [1, 1, 2, 3], "x": [10.0, 10.0, 20.0, 30.0]},
+    )
+    s = Relation(RelationSchema("S", (_C("a"), _C("b"))), {"a": [1, 2, 3], "b": [7, 8, 9]})
+    return Database([r, s], name="tiny")
+
+
+# ------------------------------------------------------------- normalisation
+def test_normalize_from_rows(tiny_db):
+    deltas = normalize_deltas(tiny_db, {"R": [(4, 40.0)]}, None)
+    assert set(deltas) == {"R"}
+    assert deltas["R"].insert_only
+    assert deltas["R"].num_inserts == 1
+
+
+def test_normalize_from_columns_and_relation(tiny_db):
+    deltas = normalize_deltas(
+        tiny_db,
+        {"R": {"a": [5], "x": [50.0]}},
+        {"S": Relation(tiny_db.relation("S").schema, {"a": [1], "b": [7]})},
+    )
+    assert deltas["R"].insert_only
+    assert not deltas["S"].insert_only
+
+
+def test_normalize_delete_mask(tiny_db):
+    mask = np.array([True, False, False, False])
+    deltas = normalize_deltas(tiny_db, None, {"R": mask})
+    assert deltas["R"].delete_mask is mask
+    assert not deltas["R"].insert_only
+
+
+def test_empty_deltas_are_dropped(tiny_db):
+    assert normalize_deltas(tiny_db, {"R": []}, None) == {}
+    assert normalize_deltas(tiny_db, None, None) == {}
+    mask = np.zeros(4, dtype=bool)
+    assert normalize_deltas(tiny_db, None, {"R": mask}) == {}
+
+
+def test_unknown_relation_rejected(tiny_db):
+    with pytest.raises(SchemaError):
+        normalize_deltas(tiny_db, {"nope": [(1, 2.0)]}, None)
+
+
+def test_wrong_attributes_rejected(tiny_db):
+    wrong = Relation(RelationSchema("R", (_C("a"), _F("y"))), {"a": [1], "y": [1.0]})
+    with pytest.raises(SchemaError):
+        normalize_deltas(tiny_db, {"R": wrong}, None)
+
+
+# -------------------------------------------------------------- application
+def test_apply_deletes_before_inserts(tiny_db):
+    relation = tiny_db.relation("R")
+    delta = RelationDelta(
+        relation="R",
+        inserts=Relation.from_rows(relation.schema, [(1, 10.0)]),
+        deletes=Relation.from_rows(relation.schema, [(1, 10.0), (1, 10.0)]),
+    )
+    updated = delta.apply_to(relation)
+    # two occurrences removed, one re-inserted
+    assert updated.num_rows == 3
+    assert sorted(updated.iter_rows()) == [(1, 10.0), (2, 20.0), (3, 30.0)]
+
+
+def test_apply_mask(tiny_db):
+    relation = tiny_db.relation("R")
+    delta = RelationDelta(relation="R", delete_mask=np.array([False, True, True, False]))
+    updated = delta.apply_to(relation)
+    assert sorted(updated.iter_rows()) == [(1, 10.0), (3, 30.0)]
+
+
+def test_mask_length_mismatch(tiny_db):
+    delta = RelationDelta(relation="R", delete_mask=np.array([True, False]))
+    with pytest.raises(SchemaError):
+        delta.apply_to(tiny_db.relation("R"))
+
+
+def test_delete_missing_row_raises(tiny_db):
+    relation = tiny_db.relation("R")
+    delta = RelationDelta(
+        relation="R", deletes=Relation.from_rows(relation.schema, [(9, 90.0)])
+    )
+    with pytest.raises(SchemaError):
+        delta.apply_to(relation)
+
+
+# -------------------------------------------------- relation append/tombstone
+def test_concat_appends_bag(tiny_db):
+    relation = tiny_db.relation("R")
+    more = Relation.from_rows(relation.schema, [(1, 10.0)])
+    combined = relation.concat(more)
+    assert combined.num_rows == 5
+    assert list(combined.iter_rows()).count((1, 10.0)) == 3
+
+
+def test_concat_schema_mismatch(tiny_db):
+    with pytest.raises(SchemaError):
+        tiny_db.relation("R").concat(tiny_db.relation("S"))
+
+
+def test_remove_rows_is_multiset(tiny_db):
+    relation = tiny_db.relation("R")
+    removed = relation.remove_rows(Relation.from_rows(relation.schema, [(1, 10.0)]))
+    assert removed.num_rows == 3
+    assert list(removed.iter_rows()).count((1, 10.0)) == 1

@@ -1,0 +1,312 @@
+"""Differential correctness of incremental maintenance.
+
+The oracle is always a from-scratch run over the current database
+(:meth:`MaintainedBatch.recompute` builds a fresh engine: cold tries,
+recompilation). In ``"rescan"`` mode the maintained state must be
+*bit-for-bit* equal to recomputation; in ``"auto"`` mode the numeric
+fast path introduces only float-associativity drift, checked with the
+standard tolerance helper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.incremental import MaintainedBatch
+from repro.paper import FAVORITA_TREE, example_queries
+from repro.query import Aggregate, Factor, Op, Predicate, Query, QueryBatch
+from repro.util.errors import PlanError
+
+from tests.helpers import assert_results_equal
+
+
+def retailer_queries() -> QueryBatch:
+    return QueryBatch(
+        [
+            Query("total", aggregates=(Aggregate.sum("inventoryunits"),)),
+            Query(
+                "by_locn",
+                group_by=("locn",),
+                aggregates=(Aggregate.sum("inventoryunits"), Aggregate.count()),
+            ),
+            Query(
+                "by_category",
+                group_by=("category",),
+                aggregates=(
+                    Aggregate.product((Factor("prize"), Factor("inventoryunits"))),
+                ),
+            ),
+        ]
+    )
+
+
+def _sample_rows(rng, relation, count):
+    count = min(count, relation.num_rows)
+    picks = rng.choice(relation.num_rows, size=count, replace=False)
+    return [relation.row(int(i)) for i in picks]
+
+
+def _random_delta(rng, db, relation_names):
+    """One random insert or delete batch against the current database."""
+    name = relation_names[int(rng.integers(len(relation_names)))]
+    relation = db.relation(name)
+    rows = _sample_rows(rng, relation, int(rng.integers(1, 6)))
+    if rng.random() < 0.5:
+        return {"inserts": {name: rows}}
+    return {"deletes": {name: rows}}
+
+
+def _assert_exact(handle):
+    fresh = handle.recompute()
+    for name, result in handle.results.items():
+        assert result.groups == fresh.results[name].groups, name
+
+
+def _assert_close(handle):
+    fresh = handle.recompute()
+    for name, result in handle.results.items():
+        assert_results_equal(result, fresh.results[name])
+
+
+# ------------------------------------------------------------- initial state
+def test_initial_results_match_run(favorita_engine):
+    batch = example_queries()
+    handle = favorita_engine.maintain(batch)
+    base = favorita_engine.run(batch)
+    for query in batch:
+        assert handle.results[query.name].groups == base.results[query.name].groups
+
+
+# ------------------------------------------------------ differential (exact)
+def test_interleaved_updates_exact_rescan(favorita_db):
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, incremental_mode="rescan"),
+    )
+    handle = engine.maintain(example_queries())
+    rng = np.random.default_rng(17)
+    for _ in range(6):
+        handle.apply(**_random_delta(rng, handle.database, ("Sales", "Items", "Oil")))
+        _assert_exact(handle)
+
+
+def test_interleaved_updates_exact_rescan_retailer(retailer_db):
+    engine = LMFAO(retailer_db, EngineConfig(incremental_mode="rescan"))
+    handle = engine.maintain(retailer_queries())
+    rng = np.random.default_rng(23)
+    for _ in range(6):
+        handle.apply(
+            **_random_delta(rng, handle.database, ("Inventory", "Item", "Weather"))
+        )
+        _assert_exact(handle)
+
+
+# ------------------------------------------------- differential (auto/numeric)
+def test_interleaved_updates_auto(favorita_db):
+    engine = LMFAO(favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    handle = engine.maintain(example_queries())
+    rng = np.random.default_rng(5)
+    numeric_rounds = 0
+    for _ in range(8):
+        outcome = handle.apply(
+            **_random_delta(rng, handle.database, ("Sales", "Items", "Holidays"))
+        )
+        numeric_rounds += outcome.groups_numeric
+        _assert_close(handle)
+    assert numeric_rounds > 0  # the fast path actually engaged
+
+
+def test_interleaved_updates_auto_retailer(retailer_db):
+    engine = LMFAO(retailer_db)
+    handle = engine.maintain(retailer_queries())
+    rng = np.random.default_rng(41)
+    for _ in range(6):
+        handle.apply(
+            **_random_delta(rng, handle.database, ("Inventory", "Location", "Item"))
+        )
+        _assert_close(handle)
+
+
+def test_dangling_inserts(favorita_engine):
+    """Inserted facts referencing absent dimension keys join to nothing."""
+    handle = favorita_engine.maintain(example_queries())
+    items = handle.database.relation("Items")
+    missing_item = int(items.column("item").max()) + 10
+    outcome = handle.apply(
+        inserts={"Sales": [(1, 1, missing_item, 99.0, 0)]}
+    )
+    assert outcome.groups_numeric > 0
+    _assert_close(handle)
+
+
+# ------------------------------------------------------------------ edge cases
+def test_empty_apply_is_noop(favorita_engine):
+    handle = favorita_engine.maintain(example_queries())
+    before = {name: dict(r.groups) for name, r in handle.results.items()}
+    outcome = handle.apply(inserts={"Sales": []})
+    assert outcome.relations_changed == ()
+    assert outcome.groups_numeric == outcome.groups_rescanned == 0
+    assert outcome.groups_skipped == 0
+    assert outcome.refreshed_queries == ()
+    for name, groups in before.items():
+        assert handle.results[name].groups == groups
+
+
+def test_delete_to_empty_group(favorita_engine):
+    handle = favorita_engine.maintain(example_queries())
+    sales = handle.database.relation("Sales")
+    store = int(sales.column("store")[0])
+    assert (store,) in handle.results["Q2"].groups
+    outcome = handle.apply(deletes={"Sales": sales.column("store") == store})
+    assert "Sales" in outcome.relations_changed
+    assert (store,) not in handle.results["Q2"].groups
+    _assert_exact(handle)
+
+
+def test_leaf_vs_root_touch_different_slices(favorita_engine):
+    handle = favorita_engine.maintain(example_queries())
+    rules = handle.rules
+    oil = handle.database.relation("Oil")
+    sales = handle.database.relation("Sales")
+
+    oil_out = handle.apply(inserts={"Oil": [oil.row(0)]})
+    sales_out = handle.apply(inserts={"Sales": [sales.row(0)]})
+    total = rules.num_groups
+    for outcome, relation in ((oil_out, "Oil"), (sales_out, "Sales")):
+        ran = outcome.groups_numeric + outcome.groups_rescanned
+        assert ran + outcome.groups_skipped == total
+        assert ran <= len(rules.dirty_groups({relation}))
+        assert outcome.groups_skipped > 0  # something was off the dirty path
+    # the affected-view rule: a leaf relation reaches strictly fewer views
+    # than the tree allows, and never more than its path closure
+    assert set(handle.rules.affected_views("Oil")) <= set(rules.view_source)
+    _assert_close(handle)
+
+
+def test_delta_cutoff_stops_propagation(favorita_engine):
+    handle = favorita_engine.maintain(example_queries())
+    rows = _sample_rows(np.random.default_rng(3), handle.database.relation("Sales"), 4)
+    # net-zero change: delete and re-insert the same tuples in one round
+    outcome = handle.apply(inserts={"Sales": rows}, deletes={"Sales": rows})
+    assert outcome.refreshed_views == ()
+    assert outcome.refreshed_queries == ()
+    # only the groups at the Sales node ran; consumers were cut off
+    assert outcome.groups_rescanned == len(handle.rules.groups_by_node["Sales"])
+    _assert_exact(handle)
+
+
+def test_cutoff_disabled_reruns_the_static_closure(favorita_db):
+    config = EngineConfig(join_tree_edges=FAVORITA_TREE, incremental_cutoff=False)
+    handle = LMFAO(favorita_db, config).maintain(example_queries())
+    rows = _sample_rows(np.random.default_rng(3), handle.database.relation("Sales"), 4)
+    outcome = handle.apply(inserts={"Sales": rows}, deletes={"Sales": rows})
+    assert (
+        outcome.groups_rescanned
+        == len(handle.rules.dirty_groups({"Sales"}))
+        > len(handle.rules.groups_by_node["Sales"])
+    )
+    _assert_exact(handle)
+
+
+def test_strict_numeric_mode_raises_on_deletes(favorita_db):
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, incremental_mode="numeric"),
+    )
+    handle = engine.maintain(example_queries())
+    sales = handle.database.relation("Sales")
+    with pytest.raises(PlanError):
+        handle.apply(deletes={"Sales": [sales.row(0)]})
+    # the raise happens before any state is touched
+    assert handle.database.relation("Sales").num_rows == sales.num_rows
+    _assert_exact(handle)
+
+
+def test_strict_numeric_mode_accepts_inserts(favorita_db):
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, incremental_mode="numeric"),
+    )
+    handle = engine.maintain(example_queries())
+    sales = handle.database.relation("Sales")
+    outcome = handle.apply(inserts={"Sales": [sales.row(0)]})
+    # every changed-node group took the O(|Δ|) path; only downstream
+    # propagation (consumers of the refreshed views) rescanned
+    assert outcome.groups_numeric == len(handle.rules.groups_by_node["Sales"])
+    _assert_close(handle)
+
+
+def test_failed_apply_leaves_state_untouched(favorita_engine):
+    """A bad delta in a multi-relation apply must not half-commit."""
+    handle = favorita_engine.maintain(example_queries())
+    items = handle.database.relation("Items")
+    before_rows = handle.database.relation("Items").num_rows
+    with pytest.raises(Exception):
+        handle.apply(
+            inserts={"Items": [items.row(0)]},
+            deletes={"Sales": [(999, 999, 999, 1.0, 0)]},  # not present
+        )
+    assert handle.database.relation("Items").num_rows == before_rows
+    _assert_exact(handle)
+
+
+def test_unknown_incremental_mode_rejected(favorita_db):
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, incremental_mode="bogus"),
+    )
+    with pytest.raises(PlanError):
+        engine.maintain(example_queries())
+
+
+def test_with_pushed_shared_predicates(favorita_db):
+    """Physical filters on base relations compose with maintenance."""
+    shared = (Predicate("units", Op.GT, 2.0),)
+    batch = QueryBatch(
+        [
+            Query("filtered_total", aggregates=(Aggregate.sum("units"),), where=shared),
+            Query(
+                "filtered_by_store",
+                group_by=("store",),
+                aggregates=(Aggregate.count(),),
+                where=shared,
+            ),
+        ]
+    )
+    config = EngineConfig(
+        join_tree_edges=FAVORITA_TREE, push_shared_predicates=True
+    )
+    handle = LMFAO(favorita_db, config).maintain(batch)
+    rng = np.random.default_rng(11)
+    for _ in range(3):
+        handle.apply(**_random_delta(rng, handle.database, ("Sales",)))
+        _assert_close(handle)
+
+
+# ------------------------------------------------------------------ delta rules
+def test_affected_views_cover_changed_view_names(favorita_db):
+    # rescan mode keeps the state bit-exact, so a view outside the static
+    # delta rule can never spuriously report as refreshed
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, incremental_mode="rescan"),
+    )
+    handle = engine.maintain(example_queries())
+    rng = np.random.default_rng(29)
+    for relation in ("Sales", "Items", "Oil", "Holidays"):
+        allowed = set(handle.rules.affected_views(relation))
+        delta = {
+            "inserts": {
+                relation: _sample_rows(rng, handle.database.relation(relation), 3)
+            }
+        }
+        outcome = handle.apply(**delta)
+        assert set(outcome.refreshed_views) <= allowed, relation
+
+
+def test_dirty_groups_respect_execution_order(favorita_engine):
+    handle = favorita_engine.maintain(example_queries())
+    order = handle.rules.execution_order
+    dirty = handle.rules.dirty_groups({"Items"})
+    positions = [order.index(g) for g in dirty]
+    assert positions == sorted(positions)

@@ -1,0 +1,93 @@
+"""ML refresh paths: models retrained from maintained aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.ml import CartConfig, FeatureSpec, IncrementalLinearRegression, RegressionTree
+from repro.ml.linreg import train_linear_regression
+from repro.paper import FAVORITA_TREE
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return FeatureSpec(
+        label="units",
+        continuous=("txns", "price"),
+        categorical=("promo", "stype"),
+    )
+
+
+@pytest.fixture(scope="module")
+def favorita_db_module():
+    from repro.data import favorita
+
+    return favorita(scale=0.05, seed=7)
+
+
+def _config():
+    return EngineConfig(join_tree_edges=FAVORITA_TREE)
+
+
+def test_incremental_linreg_matches_retraining(favorita_db_module, small_spec):
+    engine = LMFAO(favorita_db_module, _config())
+    ilr = IncrementalLinearRegression(
+        engine, small_spec, ridge=1e-2, max_iterations=4000, tolerance=1e-12
+    )
+    baseline = train_linear_regression(
+        engine, small_spec, ridge=1e-2, max_iterations=4000, tolerance=1e-12
+    )
+    np.testing.assert_allclose(ilr.model.theta, baseline.theta, rtol=1e-8, atol=1e-10)
+
+    sales = ilr.handle.database.relation("Sales")
+    rng = np.random.default_rng(2)
+    picks = rng.choice(sales.num_rows, size=20, replace=False)
+    model = ilr.apply(inserts={"Sales": [sales.row(int(i)) for i in picks]})
+    assert ilr.last_apply is not None
+    assert ilr.last_apply.relations_changed == ("Sales",)
+
+    fresh_engine = LMFAO(ilr.handle.database, _config())
+    fresh = train_linear_regression(
+        fresh_engine, small_spec, ridge=1e-2, max_iterations=4000, tolerance=1e-12
+    )
+    np.testing.assert_allclose(model.theta, fresh.theta, rtol=1e-6, atol=1e-8)
+
+
+def test_incremental_linreg_tracks_new_categories(favorita_db_module):
+    spec = FeatureSpec(label="units", continuous=("price",), categorical=("stype",))
+    engine = LMFAO(favorita_db_module, _config())
+    ilr = IncrementalLinearRegression(engine, spec, max_iterations=200)
+    dim_before = ilr.model.index.dimension
+    stores = ilr.handle.database.relation("StoRes")
+    new_store = int(stores.column("store").max()) + 1
+    new_stype = int(stores.column("stype").max()) + 1
+    ilr.apply(
+        inserts={
+            "StoRes": [(new_store, 1, 1, new_stype, 1)],
+            "Sales": [(1, new_store, 1, 3.0, 0)],
+            "Transactions": [(1, new_store, 100.0)],
+        }
+    )
+    assert ilr.model.index.dimension == dim_before + 1
+    assert new_stype in ilr.model.index.categories["stype"]
+
+
+def test_cart_refresh_equals_refit(favorita_db_module, small_spec):
+    config = CartConfig(max_depth=2, min_samples=5.0)
+    engine = LMFAO(favorita_db_module, _config())
+    tree = RegressionTree(spec=small_spec, config=config).fit(engine)
+
+    sales = favorita_db_module.relation("Sales")
+    rng = np.random.default_rng(9)
+    picks = rng.choice(sales.num_rows, size=30, replace=False)
+    updated = favorita_db_module.with_relation(
+        sales.concat(sales.take(np.asarray(picks)))
+    )
+    updated_engine = LMFAO(updated, _config())
+    tree.refresh(updated_engine)
+
+    fresh = RegressionTree(spec=small_spec, config=config).fit(
+        LMFAO(updated, _config())
+    )
+    assert tree.describe() == fresh.describe()
+    assert tree.num_nodes == fresh.num_nodes

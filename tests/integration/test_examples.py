@@ -18,6 +18,7 @@ _EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
         ("rkmeans_clustering.py", (0.05, 3)),
         ("demo_walkthrough.py", (0.04,)),
         ("aggregate_cube.py", (0.04,)),
+        ("incremental_updates.py", (0.05,)),
     ],
 )
 def test_example_runs(script, args, capsys):
