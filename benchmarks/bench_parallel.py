@@ -1,0 +1,241 @@
+"""X8 — domain + task parallelism: the execution grid on a scaling dataset.
+
+Measures wall-clock of repeated batch executions across the grid
+``{backend: python, c} × {workers: 1, 4} × {partitions: 1, 4}`` and checks
+two claims:
+
+* **bit-exactness** — every grid point's result dictionaries equal the
+  sequential Python baseline, bit for bit. The scaling dataset is
+  integer-valued by construction, so float64 arithmetic is exact and any
+  deviation is a merge/scheduling bug (asserted here, not just in tests);
+* **scaling** — with ≥ 4 usable cores, the C backend at
+  ``workers=4, partitions=4`` beats sequential C by ≥ 2× (the C calls
+  release the GIL, so trie partitions really run concurrently). On
+  smaller machines the speedup is recorded but not asserted; set
+  ``LMFAO_BENCH_STRICT=0`` to downgrade the assertion to a warning on
+  unusual hardware.
+
+Writes ``BENCH_parallel.json`` (repo root by default) — the seed of the
+performance trajectory: grid timings, speedups, environment.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--rows N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import EngineConfig, LMFAO
+from repro.core.cbackend import gcc_available
+from repro.data import Attribute, Database, Relation, RelationSchema
+from repro.query import Aggregate, Factor, Query, QueryBatch
+from repro.query.functions import identity, square
+
+_C = Attribute.categorical
+_F = Attribute.continuous
+
+#: grid axes
+_WORKERS = (1, 4)
+_PARTITIONS = (1, 4)
+
+
+def scaling_database(rows: int, seed: int = 7) -> Database:
+    """A star-shaped, integer-valued database sized for seconds-scale runs.
+
+    All measures are integer-valued floats, so every sum/product the batch
+    computes is exact in float64 — the property that makes the grid's
+    bit-exactness assertion meaningful rather than tolerance-based.
+    """
+    rng = np.random.default_rng(seed)
+    # High join-key cardinality drives the trie run counts (what the native
+    # scans iterate, and what partitions split); the batch's group-by
+    # domains stay small so the serial parts of a run (view marshalling,
+    # result collection — O(distinct keys)) do not grow with the data.
+    n_keys = max(50, min(20_000, rows // 100))
+    fact = Relation(
+        RelationSchema(
+            "Fact", (_C("k"), _C("g"), _C("h"), _F("x"), _F("y"))
+        ),
+        {
+            "k": rng.integers(0, n_keys, rows),
+            "g": rng.integers(0, 32, rows),
+            "h": rng.integers(0, 8, rows),
+            "x": rng.integers(-5, 12, rows).astype(float),
+            "y": rng.integers(0, 9, rows).astype(float),
+        },
+    )
+    dim = Relation(
+        RelationSchema("Dim", (_C("k"), _C("w"), _F("z"))),
+        {
+            "k": np.arange(n_keys),
+            "w": rng.integers(0, 12, n_keys),
+            "z": rng.integers(1, 7, n_keys).astype(float),
+        },
+    )
+    return Database([fact, dim], name="scaling")
+
+
+def scaling_batch() -> QueryBatch:
+    """A mixed batch: scalars, single- and two-attribute group-bys."""
+    return QueryBatch(
+        [
+            Query("total_xy", aggregates=(
+                Aggregate((Factor("x", identity), Factor("y", identity))),
+                Aggregate.count(),
+            )),
+            Query("by_g", group_by=("g",), aggregates=(
+                Aggregate((Factor("x", square),)),
+                Aggregate((Factor("x", identity), Factor("z", identity))),
+            )),
+            Query("by_h", group_by=("h",), aggregates=(
+                Aggregate((Factor("y", identity),)),
+            )),
+            Query("by_gh", group_by=("g", "h"), aggregates=(
+                Aggregate((Factor("x", identity),)),
+                Aggregate.count(),
+            )),
+            Query("by_w", group_by=("w",), aggregates=(
+                Aggregate((Factor("x", identity), Factor("y", identity))),
+            )),
+        ]
+    )
+
+
+def _time_execute(engine: LMFAO, compiled, repeats: int) -> tuple[float, dict]:
+    """Best-of-N wall-clock of execute() on a warmed engine, plus results."""
+    run = engine.execute(compiled)  # warm-up: tries, partitions, registers
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run = engine.execute(compiled)
+        best = min(best, time.perf_counter() - start)
+    return best, {name: result.groups for name, result in run.results.items()}
+
+
+def run_grid(rows: int, repeats: int) -> dict:
+    db = scaling_database(rows)
+    batch = scaling_batch()
+    backends = ["python"] + (["c"] if gcc_available() else [])
+
+    baseline_engine = LMFAO(db, EngineConfig(workers=1, partitions=1))
+    baseline_seconds, baseline = _time_execute(
+        baseline_engine, baseline_engine.compile(batch), repeats
+    )
+
+    points = []
+    for backend in backends:
+        for workers in _WORKERS:
+            for partitions in _PARTITIONS:
+                config = EngineConfig(
+                    backend=backend,
+                    workers=workers,
+                    partitions=partitions,
+                    parallel_threshold=0,
+                )
+                engine = LMFAO(db, config)
+                compiled = engine.compile(batch)
+                seconds, results = _time_execute(engine, compiled, repeats)
+                bit_exact = results == baseline
+                assert bit_exact, (
+                    f"{backend} workers={workers} partitions={partitions} "
+                    f"diverged from the sequential Python baseline"
+                )
+                points.append(
+                    {
+                        "backend": backend,
+                        "workers": workers,
+                        "partitions": partitions,
+                        "seconds": seconds,
+                        "native_groups": compiled.native_group_count,
+                        "num_groups": compiled.num_groups,
+                        "bit_exact_vs_sequential_python": bit_exact,
+                    }
+                )
+                print(
+                    f"  {backend:>6}  workers={workers}  partitions={partitions}  "
+                    f"{seconds * 1e3:8.1f} ms  bit-exact={bit_exact}"
+                )
+
+    def seconds_at(backend: str, workers: int, partitions: int) -> float | None:
+        for p in points:
+            if (p["backend"], p["workers"], p["partitions"]) == (
+                backend, workers, partitions,
+            ):
+                return p["seconds"]
+        return None
+
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    report = {
+        "bench": "parallel_grid",
+        "dataset": {"name": "scaling", "fact_rows": rows,
+                    "total_tuples": db.total_tuples()},
+        "repeats": repeats,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "usable_cores": cores,
+            "gcc": gcc_available(),
+        },
+        "baseline_sequential_python_seconds": baseline_seconds,
+        "grid": points,
+    }
+    c_seq = seconds_at("c", 1, 1)
+    c_par = seconds_at("c", 4, 4)
+    if c_seq is not None and c_par is not None:
+        speedup = c_seq / c_par
+        report["c_speedup_4x4_vs_sequential_c"] = speedup
+        strict = os.environ.get("LMFAO_BENCH_STRICT", "1") != "0"
+        if cores < 4:
+            report["speedup_assertion"] = (
+                f"skipped: only {cores} usable core(s), need >= 4"
+            )
+        elif speedup < 2.0 and not strict:
+            report["speedup_assertion"] = f"FAILED (non-strict): {speedup:.2f}x"
+            print(f"WARNING: C 4x4 speedup {speedup:.2f}x < 2x (non-strict mode)")
+        else:
+            assert speedup >= 2.0, (
+                f"C backend workers=4 partitions=4 only {speedup:.2f}x "
+                f"over sequential C on {cores} cores (expected >= 2x)"
+            )
+    py_seq = seconds_at("python", 1, 1)
+    if py_seq is not None and c_seq is not None:
+        report["c_over_python_sequential"] = py_seq / c_seq
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=4_000_000,
+                        help="fact-table rows of the scaling dataset")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per grid point (best-of)")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_parallel.json",
+    )
+    args = parser.parse_args(argv)
+    print(f"parallel grid on scaling dataset ({args.rows} fact rows):")
+    report = run_grid(args.rows, args.repeats)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    speedup = report.get("c_speedup_4x4_vs_sequential_c")
+    if speedup is not None:
+        print(f"C 4x4 vs sequential C: {speedup:.2f}x")
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,15 @@ passed as a single ``void**`` argument vector):
 Supported plans: integer (categorical) trie levels, view keys and group-by
 attributes. :func:`supports_plan` reports this; the engine falls back to
 the Python backend per group otherwise (e.g. Rk-means' float dimensions).
+
+**Concurrency.** Generated functions are reentrant: they touch only their
+argument vector, every mutable buffer (view hash tables, output tables) is
+allocated fresh per call by :meth:`CCompiledGroup._attempt`, and the shared
+input arrays (trie levels, prefix sums, view entries) are ``const`` on the
+C side and read-only numpy arrays on the Python side. Calls go through
+``ctypes.CDLL``, which **releases the GIL** for the duration of the native
+call — so the engine's domain-parallel mode (one call per trie partition,
+see ``repro.core.runtime``) gets real multicore scaling on this backend.
 """
 
 from __future__ import annotations
@@ -557,6 +566,19 @@ class CCompiledGroup:
         self.fn = None  # bound by CBackendLibrary.load
 
     # ------------------------------------------------------------- marshaling
+    def prepare_bindings(self, view_data, view_group_by) -> dict:
+        """Entry arrays for every binding, marshalled once per group.
+
+        Partitioned execution shares the returned dict (read-only numpy
+        arrays — the generated C takes them as ``const``) across all
+        concurrent per-partition calls; only the hash-table scratch buffers
+        are per-call, which keeps the generated functions reentrant.
+        """
+        return {
+            binding.view: self._binding_entries(binding, view_data, view_group_by)
+            for binding in self.plan.bindings
+        }
+
     def _binding_entries(self, binding, view_data, view_group_by):
         """Entry arrays for one binding: key part cols, carried cols, aggs.
 
@@ -566,20 +588,19 @@ class CCompiledGroup:
         data = view_data[binding.view]
         group_by = view_group_by[binding.view]
         m = len(data)
-        kparts = len(binding.key)
         key_positions = [group_by.index(a) for a in binding.key]
         carried_positions = [group_by.index(a) for a in binding.carried]
-        key_cols = [np.empty(m, dtype=np.int64) for _ in range(kparts)]
-        carried_cols = [np.empty(m, dtype=np.int64) for _ in binding.carried]
-        vals = np.empty((m, binding.num_aggregates), dtype=np.float64)
-        for e, (key, aggs) in enumerate(data.items()):
-            full = key if isinstance(key, tuple) else (key,)
-            for p in range(kparts):
-                key_cols[p][e] = full[key_positions[p]]
-            for p in range(len(carried_cols)):
-                carried_cols[p][e] = full[carried_positions[p]]
-            for j in range(binding.num_aggregates):
-                vals[e, j] = aggs[j]
+        vals = np.asarray(list(data.values()), dtype=np.float64).reshape(
+            m, binding.num_aggregates
+        )
+        if len(group_by) == 1:
+            keys = np.fromiter(data.keys(), dtype=np.int64, count=m).reshape(m, 1)
+        else:
+            keys = np.asarray(list(data.keys()), dtype=np.int64).reshape(
+                m, len(group_by)
+            )
+        key_cols = [np.ascontiguousarray(keys[:, p]) for p in key_positions]
+        carried_cols = [np.ascontiguousarray(keys[:, p]) for p in carried_positions]
         if binding.is_carried and m > 1:
             order = np.lexsort(tuple(reversed(key_cols)))
             key_cols = [c[order] for c in key_cols]
@@ -593,15 +614,14 @@ class CCompiledGroup:
         view_data: Mapping[str, dict],
         view_group_by: Mapping[str, tuple[str, ...]],
         functions: Mapping[str, Function],
+        bind_entries: dict | None = None,
     ) -> dict[str, dict]:
         if self.fn is None:
             raise PlanError("C group not loaded")
         plan = self.plan
 
-        bind_entries = {
-            binding.view: self._binding_entries(binding, view_data, view_group_by)
-            for binding in plan.bindings
-        }
+        if bind_entries is None:
+            bind_entries = self.prepare_bindings(view_data, view_group_by)
         run_counts = np.array(
             [trie.level(k).num_runs for k in range(len(plan.relation_levels))]
             or [0],
@@ -642,7 +662,11 @@ class CCompiledGroup:
             runs = trie.level(host).num_runs if host >= 0 else 1
             if mode == "append":
                 return max(1, runs)
-            return _next_pow2(4 * max(1, runs) * capacity_boost)
+            # The host level's run count bounds the distinct keys but wildly
+            # overshoots when the group-by domain is small (e.g. 256 keys
+            # under millions of runs); cap the initial table and let the
+            # overflow-retry loop grow it for genuinely large outputs.
+            return _next_pow2(4 * max(1, min(runs, 65536)) * capacity_boost)
 
         for i, spec in enumerate(self.args):
             role = spec.role
@@ -664,10 +688,9 @@ class CCompiledGroup:
                 put(i, np.ascontiguousarray(array, dtype=np.int64))
             elif kind == "farr":
                 _, (k, attr, func_name) = role
-                values = trie.level_function_values(
+                put(i, trie.level_function_array(
                     k, f"{func_name}({attr})", functions[func_name]
-                )
-                put(i, np.asarray(values, dtype=np.float64))
+                ))
             elif kind == "psum":
                 _, product = role
                 from repro.core.runtime import _product_column, _product_signature
@@ -691,10 +714,9 @@ class CCompiledGroup:
                 put(i, np.array([bind_capacity(role[1]) - 1], dtype=np.int64))
             elif kind == "bind_occ":
                 put(i, np.zeros(bind_capacity(role[1]), dtype=np.int8))
-            elif kind in {"bind_tk"}:
-                put(i, np.zeros(bind_capacity(role[1]), dtype=np.int64))
-            elif kind in {"bind_lo", "bind_hi"}:
-                put(i, np.zeros(bind_capacity(role[1]), dtype=np.int64))
+            elif kind in {"bind_tk", "bind_lo", "bind_hi"}:
+                # written by the prologue before any read (occ gates reads)
+                put(i, np.empty(bind_capacity(role[1]), dtype=np.int64))
             elif kind in {"out_scalar", "out_keys", "out_vals", "out_count",
                           "out_mask", "out_occ"}:
                 index = role[1]
@@ -702,17 +724,19 @@ class CCompiledGroup:
                 emission = plan.emissions[index]
                 width = emission.width
                 capacity = out_capacity(index)
+                # keys/vals need no zeroing: the generated code writes every
+                # slot it later reads (occupancy and counts gate the reads)
                 if kind == "out_scalar":
                     array = buffers.setdefault(
-                        "vals", np.zeros(width, dtype=np.float64)
+                        "vals", np.empty(width, dtype=np.float64)
                     )
                 elif kind == "out_keys":
                     array = buffers.setdefault(
-                        ("keys", role[2]), np.zeros(capacity, dtype=np.int64)
+                        ("keys", role[2]), np.empty(capacity, dtype=np.int64)
                     )
                 elif kind == "out_vals":
                     array = buffers.setdefault(
-                        "vals", np.zeros(capacity * width, dtype=np.float64)
+                        "vals", np.empty(capacity * width, dtype=np.float64)
                     )
                 elif kind == "out_count":
                     array = buffers.setdefault("count", np.zeros(1, dtype=np.int64))

@@ -23,7 +23,7 @@ Every optimisation is individually switchable through
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 
 from repro.core.codegen import CompiledGroup, generate_group
@@ -31,7 +31,14 @@ from repro.core.decompose import decompose_group
 from repro.core.groups import GroupPlan, build_groups
 from repro.core.orders import GroupOrder, order_group
 from repro.core.plan import MultiOutputPlan
-from repro.core.runtime import execute_plan, node_trie
+from repro.core.runtime import (
+    execute_plan,
+    execute_plan_partitioned,
+    merge_partial_outputs,
+    node_trie,
+    partition_tries,
+    prepare_bindings,
+)
 from repro.core.viewgen import ViewGenerator, ViewPlan
 from repro.data.catalog import Database
 from repro.data.relation import Relation
@@ -84,12 +91,31 @@ class EngineConfig:
     Execution:
 
     ``workers``
-        number of threads executing independent groups of the dependency
-        DAG concurrently (1 = sequential);
+        number of threads in the execution pool (1 = sequential). The
+        scheduler exploits **task parallelism** — independent groups of the
+        dependency DAG run concurrently — and, combined with ``partitions``,
+        **domain parallelism**: each large group fans out across trie
+        partitions under the same shared worker budget;
+    ``partitions``
+        number of disjoint level-0 trie partitions a group's scan is split
+        into (1 = no domain parallelism). Per-partition partial outputs are
+        merged deterministically in partition order: per-key summation for
+        accumulating emissions, disjoint concatenation for aligned ones.
+        Takes effect for ``workers == 1`` too (serial partitioned
+        execution), which keeps every configuration differentially
+        testable against the sequential baseline;
+    ``parallel_threshold``
+        minimum number of trie rows before a group's scan fans out across
+        partitions — small groups run unpartitioned to avoid per-partition
+        overhead (default 8192 rows);
     ``backend``
         ``"python"`` (specialised Python over the trie runtime) or ``"c"``
         (generated C compiled with gcc, per-group fallback to Python when
-        a plan uses carried blocks or non-integer keys).
+        a plan uses carried blocks or non-integer keys). The C backend's
+        ctypes calls release the GIL and the generated functions are
+        reentrant, so ``workers > 1`` gives real multicore scaling there;
+        the Python backend stays GIL-serialised but goes through the same
+        scheduler and merge paths.
 
     Incremental maintenance (see :meth:`LMFAO.maintain`):
 
@@ -115,6 +141,8 @@ class EngineConfig:
     root_override: dict[str, str] | None = None
     join_tree_edges: tuple[tuple[str, str], ...] | None = None
     workers: int = 1
+    partitions: int = 1
+    parallel_threshold: int = 8192
     backend: str = "python"
     incremental_mode: str = "auto"
     incremental_cutoff: bool = True
@@ -187,6 +215,7 @@ class LMFAO:
     def __init__(self, db: Database, config: EngineConfig | None = None) -> None:
         self.db = db
         self.config = config or EngineConfig()
+        _validate_execution_config(self.config)
         if self.config.join_tree_edges is not None:
             self.tree = JoinTree(db.schema, list(self.config.join_tree_edges))
         else:
@@ -198,6 +227,7 @@ class LMFAO:
         """Run all three optimisation layers; returns executable artefacts."""
         batch.validate_against(self.db.schema)
         config = self.config
+        _validate_execution_config(config)
         if config.backend not in {"python", "c"}:
             raise PlanError(f"unknown backend {config.backend!r}")
         functions = _collect_functions(batch)
@@ -302,6 +332,7 @@ class LMFAO:
     def execute(self, compiled: CompiledBatch, watch: Stopwatch | None = None) -> RunResult:
         """Execute an already compiled batch."""
         watch = watch or Stopwatch()
+        config = self.config
         group_times: dict[str, float] = {}
         view_data: dict[str, dict] = {}
         view_group_by = {
@@ -309,34 +340,39 @@ class LMFAO:
         }
         query_raw: dict[str, dict] = {}
 
-        def run_group(index: int) -> None:
-            group = compiled.group_plan.groups[index]
-            plan = compiled.plans[index]
-            start = time.perf_counter()
-            trie = self._trie(plan.node, plan.order, compiled.shared_predicates)
-            native = compiled.c_groups[index] if compiled.c_groups else None
-            outputs = execute_plan(
-                compiled.code[index],
-                native,
-                plan,
-                trie,
-                view_data,
-                view_group_by,
-                compiled.functions,
-            )
-            for emission in plan.emissions:
+        def store_outputs(index: int, outputs: dict[str, dict]) -> None:
+            for emission in compiled.plans[index].emissions:
                 if emission.kind == "view":
                     view_data[emission.artifact] = outputs[emission.artifact]
                 else:
                     query_raw[emission.artifact] = outputs[emission.artifact]
-            group_times[group.name] = time.perf_counter() - start
 
         with watch.lap("execute"):
-            if self.config.workers > 1:
-                self._run_parallel(compiled, run_group)
+            if config.workers > 1:
+                self._run_parallel(
+                    compiled, view_data, view_group_by, store_outputs, group_times
+                )
             else:
                 for index in compiled.execution_order:
-                    run_group(index)
+                    group = compiled.group_plan.groups[index]
+                    plan = compiled.plans[index]
+                    start = time.perf_counter()
+                    trie = self._trie(plan.node, plan.order, compiled.shared_predicates)
+                    native = compiled.c_groups[index] if compiled.c_groups else None
+                    tries = partition_tries(
+                        plan, trie, config.partitions, config.parallel_threshold
+                    )
+                    outputs = execute_plan_partitioned(
+                        compiled.code[index],
+                        native,
+                        plan,
+                        tries,
+                        view_data,
+                        view_group_by,
+                        compiled.functions,
+                    )
+                    store_outputs(index, outputs)
+                    group_times[group.name] = time.perf_counter() - start
 
         with watch.lap("collect"):
             results = {
@@ -367,33 +403,129 @@ class LMFAO:
     ) -> TrieIndex:
         return node_trie(self.db, node, order, shared, self._trie_cache)
 
-    def _run_parallel(self, compiled: CompiledBatch, run_group) -> None:
+    def _run_parallel(
+        self,
+        compiled: CompiledBatch,
+        view_data: dict,
+        view_group_by: dict,
+        store_outputs,
+        group_times: dict[str, float],
+    ) -> None:
+        """Event-driven scheduler over both parallelism axes.
+
+        **Task parallelism**: a group is launched as soon as its
+        dependencies complete. **Domain parallelism**: a launched group
+        first runs a *prepare* task (trie build + partitioning + one-time
+        view marshalling), then one task per trie partition; its partial
+        outputs are merged in partition order on the scheduler thread.
+        All tasks — prepare and partition, across all in-flight groups —
+        share one ``workers``-sized pool, and no task ever blocks on
+        another, so the pool cannot deadlock. The scheduler itself sleeps
+        in :func:`concurrent.futures.wait` (no busy-wait polling) and any
+        task exception propagates out of the run immediately, cancelling
+        work that has not started.
+        """
+        config = self.config
+        num_groups = compiled.num_groups
         remaining = {
             i: set(compiled.group_plan.dependencies.get(i, ()))
-            for i in range(compiled.num_groups)
+            for i in range(num_groups)
         }
         done: set[int] = set()
-        with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
-            pending: dict = {}
-            while len(done) < compiled.num_groups:
-                ready = [
-                    i
-                    for i, deps in remaining.items()
-                    if i not in done and i not in pending and deps <= done
-                ]
-                for index in ready:
-                    pending[index] = pool.submit(run_group, index)
+        launched: set[int] = set()
+        pending: dict = {}  # Future -> ("prepare", index, None) | ("part", index, p)
+        partial: dict[int, list] = {}  # index -> per-partition outputs
+        outstanding: dict[int, int] = {}  # index -> partitions still running
+        started: dict[int, float] = {}
+
+        def prepare(index: int):
+            started[index] = time.perf_counter()
+            plan = compiled.plans[index]
+            trie = self._trie(plan.node, plan.order, compiled.shared_predicates)
+            native = compiled.c_groups[index] if compiled.c_groups else None
+            tries = partition_tries(
+                plan, trie, config.partitions, config.parallel_threshold
+            )
+            prepared = None
+            if len(tries) > 1:
+                prepared = prepare_bindings(native, plan, view_data, view_group_by)
+            return native, tries, prepared
+
+        def run_partition(index: int, native, trie, prepared):
+            return execute_plan(
+                compiled.code[index],
+                native,
+                compiled.plans[index],
+                trie,
+                view_data,
+                view_group_by,
+                compiled.functions,
+                prepared_bindings=prepared,
+            )
+
+        pool = ThreadPoolExecutor(max_workers=config.workers)
+        try:
+            while len(done) < num_groups:
+                for index in range(num_groups):
+                    if index not in launched and remaining[index] <= done:
+                        launched.add(index)
+                        pending[pool.submit(prepare, index)] = ("prepare", index, None)
                 if not pending:
                     raise PlanError("group dependency graph is not schedulable")
-                for index, future in list(pending.items()):
-                    if future.done():
-                        future.result()
-                        done.add(index)
-                        del pending[index]
-                time.sleep(0)
+                ready, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                for future in ready:
+                    kind, index, part = pending.pop(future)
+                    if kind == "prepare":
+                        native, tries, prepared = future.result()
+                        partial[index] = [None] * len(tries)
+                        outstanding[index] = len(tries)
+                        for p, trie in enumerate(tries):
+                            task = pool.submit(
+                                run_partition, index, native, trie, prepared
+                            )
+                            pending[task] = ("part", index, p)
+                        continue
+                    partial[index][part] = future.result()
+                    outstanding[index] -= 1
+                    if outstanding[index]:
+                        continue
+                    outputs = merge_partial_outputs(
+                        compiled.plans[index], partial.pop(index)
+                    )
+                    del outstanding[index]
+                    store_outputs(index, outputs)
+                    group_times[compiled.group_plan.groups[index].name] = (
+                        time.perf_counter() - started[index]
+                    )
+                    done.add(index)
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+        finally:
+            pool.shutdown(wait=True)
 
 
 # ------------------------------------------------------------------ module fns
+
+
+def _validate_execution_config(config: EngineConfig) -> None:
+    """Reject nonsensical execution knobs up front, with actionable messages."""
+    if not isinstance(config.workers, int) or config.workers < 1:
+        raise PlanError(
+            f"EngineConfig.workers must be an integer >= 1 "
+            f"(1 = sequential), got {config.workers!r}"
+        )
+    if not isinstance(config.partitions, int) or config.partitions < 1:
+        raise PlanError(
+            f"EngineConfig.partitions must be an integer >= 1 "
+            f"(1 = no domain parallelism), got {config.partitions!r}"
+        )
+    if not isinstance(config.parallel_threshold, int) or config.parallel_threshold < 0:
+        raise PlanError(
+            f"EngineConfig.parallel_threshold must be an integer >= 0 rows, "
+            f"got {config.parallel_threshold!r}"
+        )
 
 
 def _collect_functions(batch: QueryBatch) -> dict[str, Function]:

@@ -305,6 +305,33 @@ class MultiOutputPlan:
                 return b
         raise KeyError(view)
 
+    # ------------------------------------------------ partition-aware introspection
+    @property
+    def partition_safe(self) -> bool:
+        """Whether this plan may run per level-0 trie partition and merge.
+
+        Every emitted slot is a sum over the node's rows of a product that
+        does not otherwise depend on the node's row multiset (the same
+        linearity incremental maintenance exploits), so partial outputs from
+        disjoint row partitions always *sum* to the full outputs. The one
+        structural requirement is on key existence: aligned emissions are
+        plain assignments, so their key sets must be disjoint across
+        partitions — guaranteed exactly when the emission is keyed by the
+        level-0 attribute (true by construction: aligned means the group-by
+        equals an attribute-order prefix). This property re-checks that
+        invariant defensively; a False return makes the executor fall back
+        to unpartitioned execution rather than risk a wrong merge.
+        """
+        if not self.relation_levels:
+            return False
+        for emission in self.emissions:
+            if not emission.aligned or not emission.group_by:
+                continue
+            first = emission.slots[0].key_parts[0]
+            if first.kind != "rel" or first.level != 0:
+                return False
+        return True
+
     # ------------------------------------------------- delta-aware introspection
     @property
     def consumed_views(self) -> tuple[str, ...]:

@@ -14,11 +14,16 @@ builds the *environment* the plan executes against:
 View contents are dictionaries ``group_by_key → list_of_aggregate_values``
 where the key is a scalar for single-attribute group-bys and a tuple (in the
 view's canonical group-by order) otherwise.
+
+This module also hosts the **domain-parallel** execution mode: a group may
+run once per level-0 trie partition (:func:`partition_tries`) with its
+partial outputs merged by :func:`merge_partial_outputs` — per-key summation
+for accumulating emissions, disjoint concatenation for aligned ones.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -81,6 +86,29 @@ def reshape_binding(binding: ViewBinding, view_group_by: tuple[str, ...], data: 
     return grouped
 
 
+def prepare_python_bindings(
+    plan: MultiOutputPlan,
+    view_data: Mapping[str, ViewData],
+    view_group_by: Mapping[str, tuple[str, ...]],
+) -> dict[str, dict]:
+    """Reshape all incoming-view bindings of one plan (consumer keying).
+
+    Binding contents depend only on the incoming view data, never on the
+    trie, so partitioned execution prepares them **once** per group and
+    shares the (read-only) result across all partitions instead of
+    re-reshaping per partition.
+    """
+    bindings: dict[str, dict] = {}
+    for binding in plan.bindings:
+        data = view_data.get(binding.view)
+        if data is None:
+            raise PlanError(f"missing incoming view data for {binding.view}")
+        bindings[binding.view] = reshape_binding(
+            binding, view_group_by[binding.view], data
+        )
+    return bindings
+
+
 class GroupEnvironment:
     """The fully prepared inputs for executing one group plan."""
 
@@ -91,6 +119,7 @@ class GroupEnvironment:
         view_data: Mapping[str, ViewData],
         view_group_by: Mapping[str, tuple[str, ...]],
         functions: Mapping[str, Function],
+        bindings: dict[str, dict] | None = None,
     ) -> None:
         if trie.order != plan.order:
             raise PlanError(
@@ -112,14 +141,9 @@ class GroupEnvironment:
             self.psums[product] = trie.prefix_sum_list(
                 _product_signature(product), _product_column(product, functions)
             )
-        self.bindings: dict[str, dict] = {}
-        for binding in plan.bindings:
-            data = view_data.get(binding.view)
-            if data is None:
-                raise PlanError(f"missing incoming view data for {binding.view}")
-            self.bindings[binding.view] = reshape_binding(
-                binding, view_group_by[binding.view], data
-            )
+        if bindings is None:
+            bindings = prepare_python_bindings(plan, view_data, view_group_by)
+        self.bindings: dict[str, dict] = bindings
 
 
 def local_predicates(relation_attrs, predicates) -> tuple:
@@ -162,6 +186,7 @@ def execute_plan(
     view_data: Mapping[str, ViewData],
     view_group_by: Mapping[str, tuple[str, ...]],
     functions: Mapping[str, Function],
+    prepared_bindings: dict | None = None,
 ) -> dict[str, dict]:
     """Run one compiled group over a trie and incoming view contents.
 
@@ -172,14 +197,136 @@ def execute_plan(
     inserted tuples) to obtain per-view deltas from the very same compiled
     code, since every emitted slot is a sum over the node's rows and
     therefore linear in the row multiset.
+
+    ``prepared_bindings`` (from :func:`prepare_bindings`) lets partitioned
+    execution marshal the incoming views once and share them, read-only,
+    across concurrent per-partition calls.
     """
     if native is not None:
-        return native.execute(trie, view_data, view_group_by, functions)
+        return native.execute(
+            trie, view_data, view_group_by, functions, bind_entries=prepared_bindings
+        )
     env = GroupEnvironment(
         plan=plan,
         trie=trie,
         view_data=view_data,
         view_group_by=view_group_by,
         functions=functions,
+        bindings=prepared_bindings,
     )
     return code(env)
+
+
+# ------------------------------------------------------------ domain parallelism
+
+
+def prepare_bindings(
+    native,
+    plan: MultiOutputPlan,
+    view_data: Mapping[str, ViewData],
+    view_group_by: Mapping[str, tuple[str, ...]],
+):
+    """Marshal one group's incoming-view bindings for its backend, once.
+
+    The returned object is backend-specific (reshaped dicts for Python,
+    flattened entry arrays for C) and is treated as immutable by every
+    per-partition execution, so it is safe to share across threads.
+    """
+    if native is not None:
+        return native.prepare_bindings(view_data, view_group_by)
+    return prepare_python_bindings(plan, view_data, view_group_by)
+
+
+def partition_tries(
+    plan: MultiOutputPlan, trie: TrieIndex, partitions: int, threshold: int
+) -> list[TrieIndex]:
+    """The trie partitions one group should execute over (possibly just one).
+
+    Fan-out happens only when the configuration asks for it
+    (``partitions > 1``), the relation is big enough to amortise the
+    per-partition overhead (``num_rows >= threshold``), the plan's merge is
+    provably safe (:attr:`MultiOutputPlan.partition_safe`), and the trie
+    actually splits (≥ 2 level-0 runs).
+    """
+    if partitions <= 1 or trie.num_rows < threshold or not plan.partition_safe:
+        return [trie]
+    return trie.partitions(partitions)
+
+
+def merge_partial_outputs(
+    plan: MultiOutputPlan, partial: Sequence[dict[str, dict]]
+) -> dict[str, dict]:
+    """Merge per-partition outputs of one group into the full outputs.
+
+    Merge semantics per emission (see docs/architecture.md §Parallel):
+
+    * **aligned** emissions (group-by = attribute-order prefix) are keyed by
+      the level-0 attribute first, and level-0 values are disjoint across
+      partitions — so the partial dicts concatenate (disjoint union);
+    * **accumulating** emissions (hash / scalar) sum per key and slot, in
+      partition order. A key exists in the full output iff some partition
+      emitted it: key support is itself a sum over rows, so it is positive
+      on the whole relation iff positive on some partition.
+
+    Partition order is fixed (level-0 run order), which makes the merged
+    result deterministic — independent of worker count and scheduling.
+    """
+    if len(partial) == 1:
+        return partial[0]
+    merged: dict[str, dict] = {}
+    for emission in plan.emissions:
+        name = emission.artifact
+        if emission.aligned and emission.group_by:
+            out: dict = {}
+            for outputs in partial:
+                out.update(outputs[name])
+        else:
+            out = {}
+            for outputs in partial:
+                for key, values in outputs[name].items():
+                    current = out.get(key)
+                    if current is None:
+                        out[key] = list(values)
+                    else:
+                        for slot, value in enumerate(values):
+                            current[slot] += value
+        merged[name] = out
+    return merged
+
+
+def execute_plan_partitioned(
+    code,
+    native,
+    plan: MultiOutputPlan,
+    tries: Sequence[TrieIndex],
+    view_data: Mapping[str, ViewData],
+    view_group_by: Mapping[str, tuple[str, ...]],
+    functions: Mapping[str, Function],
+) -> dict[str, dict]:
+    """Run one compiled group over trie partitions (serially) and merge.
+
+    The sequential executor and the incremental maintainer both refresh
+    groups through this path, so a partitioned configuration produces
+    bit-identical state no matter which of them ran the group. The parallel
+    engine scheduler fans the same per-partition calls out across its
+    worker pool and merges with :func:`merge_partial_outputs` itself.
+    """
+    if len(tries) == 1:
+        return execute_plan(
+            code, native, plan, tries[0], view_data, view_group_by, functions
+        )
+    prepared = prepare_bindings(native, plan, view_data, view_group_by)
+    partial = [
+        execute_plan(
+            code,
+            native,
+            plan,
+            trie,
+            view_data,
+            view_group_by,
+            functions,
+            prepared_bindings=prepared,
+        )
+        for trie in tries
+    ]
+    return merge_partial_outputs(plan, partial)

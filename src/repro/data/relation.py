@@ -101,6 +101,17 @@ class Relation:
             self.schema, {name: col[indices] for name, col in self._columns.items()}
         )
 
+    def row_slice(self, start: int, stop: int) -> "Relation":
+        """The contiguous row range ``[start, stop)`` as a zero-copy view.
+
+        Column buffers are shared with this relation (numpy slices), which
+        is what makes trie partitioning cheap: a partition of a sorted
+        relation is just a row range of it.
+        """
+        return Relation(
+            self.schema, {name: col[start:stop] for name, col in self._columns.items()}
+        )
+
     def filter(self, mask: np.ndarray) -> "Relation":
         """Row subset by boolean mask."""
         if mask.dtype != np.bool_ or len(mask) != self._num_rows:

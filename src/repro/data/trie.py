@@ -55,7 +55,9 @@ class TrieLevel:
 class TrieIndex:
     """A relation sorted by an attribute order plus per-level run arrays."""
 
-    def __init__(self, relation: Relation, order: Sequence[str]) -> None:
+    def __init__(
+        self, relation: Relation, order: Sequence[str], *, presorted: bool = False
+    ) -> None:
         order = tuple(order)
         for name in order:
             if name not in relation.schema:
@@ -63,12 +65,23 @@ class TrieIndex:
         if len(set(order)) != len(order):
             raise PlanError(f"trie order has duplicates: {order}")
         self.order = order
-        self.relation = relation.sorted_by(order)
+        self.relation = relation if presorted else relation.sorted_by(order)
         self._levels = self._build_levels()
         self._prefix_sums: dict[str, np.ndarray] = {}
         self._level_lists: dict[int, tuple[list, list, list, list, list]] = {}
-        self._level_functions: dict[tuple[int, str], list] = {}
+        self._level_functions: dict[tuple, object] = {}
         self._prefix_lists: dict[str, list] = {}
+        self._partition_cache: dict[int, list["TrieIndex"]] = {}
+
+    @classmethod
+    def from_sorted(cls, relation: Relation, order: Sequence[str]) -> "TrieIndex":
+        """Index a relation that is *already* sorted by ``order``.
+
+        The partitioning path: a contiguous row slice of a sorted relation
+        is itself sorted, so a partition's index skips the ``lexsort`` and
+        only pays the (vectorised, linear) run-boundary scan.
+        """
+        return cls(relation, order, presorted=True)
 
     def _build_levels(self) -> list[TrieLevel]:
         n = self.relation.num_rows
@@ -172,6 +185,62 @@ class TrieIndex:
         """
         return TrieIndex(relation, self.order)
 
+    # --------------------------------------------------------------- partitions
+    def partitions(self, k: int) -> list["TrieIndex"]:
+        """Slice this index into at most ``k`` disjoint sub-tries.
+
+        Domain parallelism (paper §4): cuts are placed on **level-0 run
+        boundaries**, balanced by row count, so each partition is a fully
+        independent :class:`TrieIndex` over a contiguous range of the sorted
+        relation and the *same* compiled group code runs unchanged over it.
+        Because every level-0 run is a distinct value of the first order
+        attribute, partitions have pairwise-disjoint level-0 value sets —
+        the property the partial-aggregate merge relies on for aligned
+        emissions. Partition indexes share the sorted relation's column
+        buffers (zero copy) and reuse the partitioned-rebuild machinery of
+        :meth:`from_sorted`.
+
+        Returns ``[self]`` when the index cannot be split: ``k <= 1``, an
+        empty attribute order, or fewer than two level-0 runs (including
+        the empty relation). Never returns empty partitions. The result is
+        cached per ``k``, so repeated executions over the same index (the
+        decision-tree workload) also reuse every partition's prefix-sum
+        registers and level lists.
+        """
+        if k <= 1 or not self._levels:
+            return [self]
+        level0 = self._levels[0]
+        runs = level0.num_runs
+        if runs <= 1:
+            return [self]
+        k = min(k, runs)
+        cached = self._partition_cache.get(k)
+        if cached is not None:
+            return cached
+        # Snap each row-count target to the nearest level-0 run boundary, so
+        # partitions are balanced by rows (not runs) even under key skew.
+        ends = level0.row_end
+        cuts = []
+        for i in range(1, k):
+            target = (i * self.num_rows) // k
+            at = int(np.searchsorted(ends, target, side="left"))
+            lo = min(max(at, 1), runs - 1)
+            hi = min(at + 1, runs - 1)
+            near = abs(int(ends[lo - 1]) - target) <= abs(int(ends[hi - 1]) - target)
+            cuts.append(lo if near else hi)
+        bounds = [0, *dict.fromkeys(cuts), runs]
+        if len(bounds) == 2:
+            return [self]
+        parts: list[TrieIndex] = []
+        for lo_run, hi_run in zip(bounds, bounds[1:]):
+            lo = int(level0.row_start[lo_run])
+            hi = int(level0.row_end[hi_run - 1])
+            parts.append(
+                TrieIndex.from_sorted(self.relation.row_slice(lo, hi), self.order)
+            )
+        self._partition_cache[k] = parts
+        return parts
+
     # ----------------------------------------------- interpreter/codegen views
     def level_lists(self, k: int) -> tuple[list, list, list, list, list]:
         """Level ``k`` arrays as plain Python lists (cached).
@@ -194,19 +263,35 @@ class TrieIndex:
             self._level_lists[k] = cached
         return cached
 
+    def level_function_array(
+        self, k: int, signature: str, compute: Callable[[np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """``compute`` applied to the distinct values of level ``k`` (cached array).
+
+        This materialises a per-run factor array: plans evaluate
+        ``f(attr)`` once per distinct value, not once per row. The C
+        backend reads the ndarray directly; the Python backend works off
+        :meth:`level_function_values` (the same data as a plain list).
+        """
+        key = (k, signature, "array")
+        cached = self._level_functions.get(key)
+        if cached is None:
+            cached = np.ascontiguousarray(
+                compute(self._levels[k].values), dtype=np.float64
+            )
+            cached.setflags(write=False)
+            self._level_functions[key] = cached
+        return cached
+
     def level_function_values(
         self, k: int, signature: str, compute: Callable[[np.ndarray], np.ndarray]
     ) -> list:
-        """``compute`` applied to the distinct values of level ``k`` (cached list).
-
-        This materialises a per-run factor array: plans evaluate
-        ``f(attr)`` once per distinct value, not once per row.
-        """
+        """:meth:`level_function_array` as a cached Python list (see
+        :meth:`level_lists`)."""
         key = (k, signature)
         cached = self._level_functions.get(key)
         if cached is None:
-            values = np.asarray(compute(self._levels[k].values), dtype=np.float64)
-            cached = values.tolist()
+            cached = self.level_function_array(k, signature, compute).tolist()
             self._level_functions[key] = cached
         return cached
 

@@ -40,9 +40,10 @@ from dataclasses import dataclass
 from repro.core.engine import CompiledBatch, LMFAO, RunResult, _to_query_result
 from repro.core.runtime import (
     apply_predicates,
-    execute_plan,
+    execute_plan_partitioned,
     local_predicates,
     node_trie,
+    partition_tries,
 )
 from repro.data.catalog import Database
 from repro.data.trie import TrieIndex
@@ -242,13 +243,25 @@ class MaintainedBatch:
         return self._execute(index, trie)
 
     def _execute(self, index: int, trie: TrieIndex) -> dict[str, dict]:
+        """Drive one group through the engine's partitioned execution path.
+
+        Under a partitioned configuration the maintainer splits and merges
+        exactly like the batch executor (same cut points, same partition
+        order), so a rescan stays bit-identical to a from-scratch run with
+        the same :class:`EngineConfig`. Delta tries are usually smaller
+        than ``parallel_threshold`` and take the single-partition path.
+        """
         compiled = self.compiled
+        plan = compiled.plans[index]
         native = compiled.c_groups[index] if compiled.c_groups else None
-        return execute_plan(
+        tries = partition_tries(
+            plan, trie, self.config.partitions, self.config.parallel_threshold
+        )
+        return execute_plan_partitioned(
             compiled.code[index],
             native,
-            compiled.plans[index],
-            trie,
+            plan,
+            tries,
             self._view_data,
             self._view_group_by,
             compiled.functions,

@@ -1,12 +1,45 @@
-"""Shared fixtures: small deterministic databases and engines."""
+"""Shared fixtures: small deterministic databases and engines.
+
+The CI parallel leg re-runs the whole suite with task + domain parallelism
+as the *default* engine configuration by exporting::
+
+    LMFAO_TEST_WORKERS=4 LMFAO_TEST_PARTITIONS=4 LMFAO_TEST_PARALLEL_THRESHOLD=0
+
+Those variables rewrite the corresponding :class:`EngineConfig` defaults
+below, so every test that does not pin its own execution knobs exercises
+the parallel scheduler and the partition merge path. Tests that construct
+explicit configs (including the differential grids) are unaffected.
+"""
 
 from __future__ import annotations
+
+import dataclasses
+import os
 
 import pytest
 
 from repro.core import EngineConfig, LMFAO
 from repro.data import favorita, retailer
 from repro.paper import FAVORITA_TREE
+
+
+def _override_engine_defaults() -> None:
+    overrides = {
+        "workers": os.environ.get("LMFAO_TEST_WORKERS"),
+        "partitions": os.environ.get("LMFAO_TEST_PARTITIONS"),
+        "parallel_threshold": os.environ.get("LMFAO_TEST_PARALLEL_THRESHOLD"),
+    }
+    overrides = {name: int(v) for name, v in overrides.items() if v is not None}
+    if not overrides:
+        return
+    names = [f.name for f in dataclasses.fields(EngineConfig)]
+    defaults = list(EngineConfig.__init__.__defaults__)
+    for name, value in overrides.items():
+        defaults[names.index(name)] = value
+    EngineConfig.__init__.__defaults__ = tuple(defaults)
+
+
+_override_engine_defaults()
 
 
 @pytest.fixture(scope="session")

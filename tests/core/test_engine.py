@@ -42,6 +42,114 @@ def test_parallel_workers_agree_with_sequential(favorita_db):
         assert sequential.results[name].groups == parallel.results[name].groups
 
 
+def test_partitioned_execution_agrees_with_sequential(favorita_db):
+    """Domain parallelism: partitioned runs match the unpartitioned run."""
+    batch = example_queries()
+    base = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, workers=1, partitions=1),
+    ).run(batch)
+    for workers in (1, 4):
+        for partitions in (2, 5):
+            run = LMFAO(
+                favorita_db,
+                EngineConfig(
+                    join_tree_edges=FAVORITA_TREE,
+                    workers=workers,
+                    partitions=partitions,
+                    parallel_threshold=0,
+                ),
+            ).run(batch)
+            for name in base.results:
+                assert_results_equal(run.results[name], base.results[name])
+
+
+def test_partitioned_execution_is_deterministic(favorita_db):
+    """Partials merge in partition order: results do not depend on workers."""
+    batch = example_queries()
+    runs = [
+        LMFAO(
+            favorita_db,
+            EngineConfig(
+                join_tree_edges=FAVORITA_TREE,
+                workers=workers,
+                partitions=3,
+                parallel_threshold=0,
+            ),
+        ).run(batch)
+        for workers in (1, 2, 4)
+    ]
+    for name in runs[0].results:
+        for other in runs[1:]:
+            assert runs[0].results[name].groups == other.results[name].groups
+
+
+def test_below_threshold_runs_unpartitioned(favorita_db):
+    """Small tries skip fan-out; a huge threshold must equal partitions=1."""
+    batch = example_queries()
+    base = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, workers=1, partitions=1),
+    ).run(batch)
+    run = LMFAO(
+        favorita_db,
+        EngineConfig(
+            join_tree_edges=FAVORITA_TREE,
+            workers=1,
+            partitions=8,
+            parallel_threshold=10**9,
+        ),
+    ).run(batch)
+    for name in base.results:
+        assert run.results[name].groups == base.results[name].groups
+
+
+def test_failing_group_propagates_from_parallel_scheduler(favorita_db, monkeypatch):
+    """A group exception must surface promptly, not deadlock the wait loop."""
+    import repro.core.engine as engine_module
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected group failure")
+
+    monkeypatch.setattr(engine_module, "execute_plan", boom)
+    monkeypatch.setattr(engine_module, "execute_plan_partitioned", boom)
+    engine = LMFAO(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE, workers=4)
+    )
+    with pytest.raises(RuntimeError, match="injected group failure"):
+        engine.run(example_queries())
+
+
+def test_failing_prepare_propagates_from_parallel_scheduler(favorita_db, monkeypatch):
+    """Failures in the trie/partitioning stage propagate too."""
+    def boom(*args, **kwargs):
+        raise ValueError("injected prepare failure")
+
+    engine = LMFAO(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE, workers=2)
+    )
+    monkeypatch.setattr(engine, "_trie", boom)
+    with pytest.raises(ValueError, match="injected prepare failure"):
+        engine.run(example_queries())
+
+
+@pytest.mark.parametrize(
+    "field, value, fragment",
+    [
+        ("workers", 0, "workers must be an integer >= 1"),
+        ("workers", -3, "workers must be an integer >= 1"),
+        ("partitions", 0, "partitions must be an integer >= 1"),
+        ("partitions", -1, "partitions must be an integer >= 1"),
+        ("parallel_threshold", -5, "parallel_threshold must be an integer >= 0"),
+    ],
+)
+def test_execution_config_validation(favorita_db, field, value, fragment):
+    from repro.util.errors import PlanError
+
+    with pytest.raises(PlanError, match=fragment):
+        LMFAO(favorita_db, EngineConfig(**{field: value}))
+
+
 def test_single_root_ablation_matches(favorita_db, favorita_join):
     batch = example_queries()
     run = LMFAO(

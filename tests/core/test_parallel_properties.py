@@ -1,0 +1,107 @@
+"""Differential bit-exactness of parallel execution on random instances.
+
+The anchor property of the domain-parallel layer: for any tree-shaped
+schema, any data and any sum-product batch, every point of the execution
+grid ``{workers} × {partitions} × {backend}`` must produce **bit-for-bit**
+the same result dictionaries as the sequential Python baseline
+(``workers=1, partitions=1``). The generated instances are integer-valued
+(see ``tests/strategies.py``), so float64 arithmetic is exact and
+reassociation by partitioning cannot introduce drift — any difference is a
+real merge or scheduling bug, never numeric noise.
+
+``parallel_threshold=0`` forces fan-out even on tiny tries, which drags the
+corner cases through the merge path: empty relations (empty partitions
+cannot exist — ``TrieIndex.partitions`` never returns one — but empty
+*tries* take the unsplittable path), single-run level-0 tries, and
+partition counts exceeding the run count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import EngineConfig, LMFAO
+from repro.core.cbackend import gcc_available
+from repro.util.errors import CyclicSchemaError
+
+from tests.strategies import instances
+
+_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_GRID = [
+    (workers, partitions)
+    for workers in (1, 4)
+    for partitions in (1, 2, 5)
+    if (workers, partitions) != (1, 1)
+]
+
+
+def _grid_matches_sequential_python(instance, backend: str) -> None:
+    # Pin the baseline to truly sequential execution: the CI parallel leg
+    # rewrites EngineConfig *defaults* (see tests/conftest.py), and the
+    # anchor property must stay "grid vs sequential", not "grid vs grid".
+    try:
+        engine = LMFAO(
+            instance.db,
+            EngineConfig(workers=1, partitions=1, parallel_threshold=0),
+        )
+    except CyclicSchemaError:
+        pytest.skip("generated schema had a disconnected join graph")
+    baseline = engine.execute(engine.compile(instance.batch))
+
+    config = EngineConfig(
+        backend=backend, workers=1, partitions=1, parallel_threshold=0
+    )
+    runner = LMFAO(instance.db, config)
+    compiled = runner.compile(instance.batch)
+    for workers, partitions in _GRID:
+        runner.config = replace(config, workers=workers, partitions=partitions)
+        run = runner.execute(compiled)
+        for name, expected in baseline.results.items():
+            got = run.results[name]
+            assert got.groups == expected.groups, (
+                f"{backend} backend, workers={workers}, partitions={partitions}: "
+                f"{name} diverged from the sequential Python baseline"
+            )
+
+
+@given(instance=instances())
+@settings(max_examples=25, **_SETTINGS)
+def test_python_grid_bit_exact(instance):
+    _grid_matches_sequential_python(instance, "python")
+
+
+@pytest.mark.skipif(not gcc_available(), reason="gcc not on PATH")
+@given(instance=instances())
+@settings(max_examples=8, **_SETTINGS)
+def test_c_grid_bit_exact(instance):
+    _grid_matches_sequential_python(instance, "c")
+
+
+def test_grid_covers_single_run_level0():
+    """A fact table with a constant join key yields a single level-0 run."""
+    from repro.data import Attribute, Database, Relation, RelationSchema
+    from repro.query import Aggregate, Query, QueryBatch
+
+    C = Attribute.categorical
+    fact = Relation(
+        RelationSchema("A", (C("k"), C("g"))),
+        {"k": [1] * 12, "g": [0, 1, 2] * 4},
+    )
+    dim = Relation(RelationSchema("B", (C("k"), C("w"))), {"k": [1, 2], "w": [5, 6]})
+    db = Database([fact, dim])
+    batch = QueryBatch(
+        [Query("q", group_by=("g",), aggregates=(Aggregate.count(),))]
+    )
+    base = LMFAO(db, EngineConfig(workers=1, partitions=1)).run(batch)
+    run = LMFAO(
+        db, EngineConfig(workers=4, partitions=4, parallel_threshold=0)
+    ).run(batch)
+    assert run.results["q"].groups == base.results["q"].groups
+    assert run.results["q"].groups != {}

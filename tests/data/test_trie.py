@@ -124,3 +124,77 @@ def test_runs_partition_rows(seed, n):
             assert list(level.child_start[1:]) == list(level.child_end[:-1])
             if level.num_runs:
                 assert level.child_end[-1] == child.num_runs
+
+
+# ----------------------------------------------------------------- partitions
+def test_partitions_split_level0_runs(relation):
+    trie = TrieIndex(relation, ("a", "b"))
+    parts = trie.partitions(2)
+    assert len(parts) == 2
+    # disjoint level-0 values, in run order
+    assert [list(p.level(0).values) for p in parts] == [[1], [2]]
+    # rows are covered exactly once
+    assert sum(p.num_rows for p in parts) == trie.num_rows
+    # each partition is a self-contained index over the same order
+    for p in parts:
+        assert p.order == trie.order
+        assert p.level(0).row_start[0] == 0
+
+
+def test_partitions_unsplittable_cases(relation):
+    single_run = Relation(
+        RelationSchema("S", (C("a"), F("x"))), {"a": [7, 7, 7], "x": [1.0, 2.0, 3.0]}
+    )
+    empty = Relation(RelationSchema("E", (C("a"),)), {"a": []})
+    for trie in (
+        TrieIndex(single_run, ("a",)),  # one level-0 run
+        TrieIndex(empty, ("a",)),  # empty relation
+        TrieIndex(relation, ()),  # no levels at all
+    ):
+        assert trie.partitions(4) == [trie]
+    # k <= 1 never splits
+    trie = TrieIndex(relation, ("a", "b"))
+    assert trie.partitions(1) == [trie]
+
+
+def test_partitions_k_exceeding_runs_caps_at_runs(relation):
+    trie = TrieIndex(relation, ("a", "b"))  # two level-0 runs
+    parts = trie.partitions(5)
+    assert 1 <= len(parts) <= 2
+    assert sum(p.num_rows for p in parts) == trie.num_rows
+    for p in parts:
+        assert p.num_rows > 0  # never an empty partition
+
+
+@given(seed=st.integers(0, 500), n=st.integers(0, 80), k=st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_partitions_reconstruct_the_whole_index(seed, n, k):
+    """Partitions are disjoint, ordered, exhaustive, and structurally sound."""
+    rng = np.random.default_rng(seed)
+    schema = RelationSchema("R", (C("a"), C("b"), F("x")))
+    relation = Relation(
+        schema,
+        {
+            "a": rng.integers(0, 6, n),
+            "b": rng.integers(0, 3, n),
+            "x": rng.integers(-4, 5, n).astype(float),
+        },
+    )
+    trie = TrieIndex(relation, ("a", "b"))
+    parts = trie.partitions(k)
+    assert 1 <= len(parts) <= max(1, k)
+    assert sum(p.num_rows for p in parts) == trie.num_rows
+    # level-0 values: disjoint across partitions, concatenating to the whole
+    merged_values = [v for p in parts for v in p.level(0).values]
+    assert merged_values == list(trie.level(0).values)
+    # sorted rows concatenate to the trie's sorted relation
+    for name in ("a", "b", "x"):
+        merged = np.concatenate([p.relation.column(name) for p in parts])
+        assert np.array_equal(merged, trie.relation.column(name))
+    # per-partition prefix sums agree with slices of the whole
+    whole = trie.prefix_sum("x", lambda rel: rel.column("x"))
+    offset = 0
+    for p in parts:
+        local = p.prefix_sum("x", lambda rel: rel.column("x"))
+        assert local[-1] == pytest.approx(whole[offset + p.num_rows] - whole[offset])
+        offset += p.num_rows

@@ -139,6 +139,71 @@ def test_dangling_inserts(favorita_engine):
     _assert_close(handle)
 
 
+# ------------------------------------------------------- parallel configurations
+@pytest.mark.parametrize("workers, partitions", [(4, 1), (1, 4), (4, 4)])
+def test_interleaved_updates_exact_rescan_parallel(favorita_db, workers, partitions):
+    """Maintenance refreshes dirty groups through the partitioned path.
+
+    Same update sequence as :func:`test_interleaved_updates_exact_rescan`;
+    the maintained state must stay bit-for-bit equal to a from-scratch
+    recompute under the *same* parallel configuration (the maintainer and
+    the executor split tries at the same cut points and merge in the same
+    partition order).
+    """
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(
+            join_tree_edges=FAVORITA_TREE,
+            incremental_mode="rescan",
+            workers=workers,
+            partitions=partitions,
+            parallel_threshold=0,
+        ),
+    )
+    handle = engine.maintain(example_queries())
+    rng = np.random.default_rng(17)
+    for _ in range(6):
+        handle.apply(**_random_delta(rng, handle.database, ("Sales", "Items", "Oil")))
+        _assert_exact(handle)
+
+
+@pytest.mark.parametrize("workers, partitions", [(4, 1), (1, 4), (4, 4)])
+def test_interleaved_updates_auto_parallel(favorita_db, workers, partitions):
+    """The numeric fast path composes with partitioned execution."""
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(
+            join_tree_edges=FAVORITA_TREE,
+            workers=workers,
+            partitions=partitions,
+            parallel_threshold=0,
+        ),
+    )
+    handle = engine.maintain(example_queries())
+    rng = np.random.default_rng(5)
+    numeric_rounds = 0
+    for _ in range(8):
+        outcome = handle.apply(
+            **_random_delta(rng, handle.database, ("Sales", "Items", "Holidays"))
+        )
+        numeric_rounds += outcome.groups_numeric
+        _assert_close(handle)
+    assert numeric_rounds > 0
+
+
+def test_parallel_initial_state_matches_engine_run(favorita_db):
+    """handle construction and engine.run agree under a parallel config."""
+    config = EngineConfig(
+        join_tree_edges=FAVORITA_TREE, workers=4, partitions=3, parallel_threshold=0
+    )
+    engine = LMFAO(favorita_db, config)
+    batch = example_queries()
+    handle = engine.maintain(batch)
+    run = engine.run(batch)
+    for query in batch:
+        assert handle.results[query.name].groups == run.results[query.name].groups
+
+
 # ------------------------------------------------------------------ edge cases
 def test_empty_apply_is_noop(favorita_engine):
     handle = favorita_engine.maintain(example_queries())

@@ -43,3 +43,27 @@ def test_ci_workflow_runs_tier1():
     text = workflow.read_text()
     assert "python -m pytest -x -q" in text
     assert "README.md" in text
+
+
+def test_docs_cover_parallel_execution():
+    arch = (_ROOT / "docs" / "architecture.md").read_text()
+    for required in (
+        "Parallel execution",
+        "task",
+        "domain",
+        "partitions",
+        "merge",
+        "bit-exact",
+    ):
+        assert required.lower() in arch.lower(), required
+    readme = (_ROOT / "README.md").read_text()
+    for required in ("workers", "partitions", "parallel_threshold"):
+        assert required in readme, required
+
+
+def test_ci_has_parallel_leg_and_bench_artifact():
+    text = (_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "LMFAO_TEST_WORKERS" in text
+    assert "LMFAO_TEST_PARTITIONS" in text
+    assert "bench_parallel.py" in text
+    assert "BENCH_parallel.json" in text
