@@ -1,21 +1,24 @@
-"""X8 — domain + task parallelism: the execution grid on a scaling dataset.
+"""X8 — the three-backend execution grid on a scaling dataset.
 
 Measures wall-clock of repeated batch executions across the grid
-``{backend: python, c} × {workers: 1, 4} × {partitions: 1, 4}`` and checks
-two claims:
+``{backend: python, numpy, c} × {workers: 1, 4} × {partitions: 1, 4}``
+and checks three claims:
 
 * **bit-exactness** — every grid point's result dictionaries equal the
   sequential Python baseline, bit for bit. The scaling dataset is
   integer-valued by construction, so float64 arithmetic is exact and any
   deviation is a merge/scheduling bug (asserted here, not just in tests);
+* **vectorization** — sequential NumPy beats sequential Python by ≥ 5×
+  on a full-size run (``--rows`` ≥ 500k; smaller smoke runs only record
+  the ratio — vectorization cannot pay off on toy tries);
 * **scaling** — with ≥ 4 usable cores, the C backend at
   ``workers=4, partitions=4`` beats sequential C by ≥ 2× (the C calls
   release the GIL, so trie partitions really run concurrently). On
   smaller machines the speedup is recorded but not asserted; set
-  ``LMFAO_BENCH_STRICT=0`` to downgrade the assertion to a warning on
+  ``LMFAO_BENCH_STRICT=0`` to downgrade both assertions to warnings on
   unusual hardware.
 
-Writes ``BENCH_parallel.json`` (repo root by default) — the seed of the
+Writes ``BENCH_parallel.json`` (repo root by default) — the spine of the
 performance trajectory: grid timings, speedups, environment.
 
 Run it directly::
@@ -122,10 +125,15 @@ def _time_execute(engine: LMFAO, compiled, repeats: int) -> tuple[float, dict]:
     return best, {name: result.groups for name, result in run.results.items()}
 
 
+#: below this row count the ≥5× numpy-vs-python assertion is recorded
+#: only — vectorization cannot amortise on toy tries (smoke runs).
+_NUMPY_ASSERT_MIN_ROWS = 500_000
+
+
 def run_grid(rows: int, repeats: int) -> dict:
     db = scaling_database(rows)
     batch = scaling_batch()
-    backends = ["python"] + (["c"] if gcc_available() else [])
+    backends = ["python", "numpy"] + (["c"] if gcc_available() else [])
 
     baseline_engine = LMFAO(db, EngineConfig(workers=1, partitions=1))
     baseline_seconds, baseline = _time_execute(
@@ -212,6 +220,28 @@ def run_grid(rows: int, repeats: int) -> dict:
     py_seq = seconds_at("python", 1, 1)
     if py_seq is not None and c_seq is not None:
         report["c_over_python_sequential"] = py_seq / c_seq
+    np_seq = seconds_at("numpy", 1, 1)
+    if py_seq is not None and np_seq is not None:
+        speedup = py_seq / np_seq
+        report["numpy_over_python_sequential"] = speedup
+        strict = os.environ.get("LMFAO_BENCH_STRICT", "1") != "0"
+        if rows < _NUMPY_ASSERT_MIN_ROWS:
+            report["numpy_speedup_assertion"] = (
+                f"skipped: {rows} rows < {_NUMPY_ASSERT_MIN_ROWS} (smoke run)"
+            )
+        elif speedup < 5.0 and not strict:
+            report["numpy_speedup_assertion"] = (
+                f"FAILED (non-strict): {speedup:.2f}x"
+            )
+            print(
+                f"WARNING: numpy sequential speedup {speedup:.2f}x < 5x "
+                f"(non-strict mode)"
+            )
+        else:
+            assert speedup >= 5.0, (
+                f"numpy backend only {speedup:.2f}x over sequential Python "
+                f"on {rows} rows (expected >= 5x)"
+            )
     return report
 
 
@@ -230,6 +260,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"parallel grid on scaling dataset ({args.rows} fact rows):")
     report = run_grid(args.rows, args.repeats)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
+    speedup = report.get("numpy_over_python_sequential")
+    if speedup is not None:
+        print(f"numpy vs sequential python: {speedup:.2f}x")
     speedup = report.get("c_speedup_4x4_vs_sequential_c")
     if speedup is not None:
         print(f"C 4x4 vs sequential C: {speedup:.2f}x")

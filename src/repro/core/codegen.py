@@ -348,7 +348,7 @@ def _generate_source(plan: MultiOutputPlan, share_terms: bool) -> str:
         if level >= num_rel:
             return
         if level == 0:
-            w.line(f"for r0 in range(len(L0_vals)):")
+            w.line("for r0 in range(len(L0_vals)):")
         else:
             w.line(
                 f"for r{level} in range(L{level-1}_cs[r{level-1}], "

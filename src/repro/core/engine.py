@@ -22,6 +22,7 @@ Every optimisation is individually switchable through
 
 from __future__ import annotations
 
+import heapq
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field, replace
@@ -109,12 +110,16 @@ class EngineConfig:
         partitions — small groups run unpartitioned to avoid per-partition
         overhead (default 8192 rows);
     ``backend``
-        ``"python"`` (specialised Python over the trie runtime) or ``"c"``
-        (generated C compiled with gcc, per-group fallback to Python when
-        a plan uses carried blocks or non-integer keys). The C backend's
-        ctypes calls release the GIL and the generated functions are
-        reentrant, so ``workers > 1`` gives real multicore scaling there;
-        the Python backend stays GIL-serialised but goes through the same
+        ``"python"`` (specialised Python over the trie runtime),
+        ``"numpy"`` (whole-level array programs over the same trie —
+        segment-reduction sums, vectorized probes; per-group fallback to
+        Python when a plan uses carried blocks), or ``"c"`` (generated C
+        compiled with gcc, per-group fallback to Python when a plan uses
+        carried blocks or non-integer keys). The C backend's ctypes calls
+        release the GIL and the generated functions are reentrant, so
+        ``workers > 1`` gives real multicore scaling there; NumPy releases
+        the GIL inside large kernels (partial scaling, no gcc needed); the
+        Python backend stays GIL-serialised but goes through the same
         scheduler and merge paths.
 
     Incremental maintenance (see :meth:`LMFAO.maintain`):
@@ -164,15 +169,16 @@ class CompiledBatch:
     functions: dict[str, Function]
     shared_predicates: tuple[Predicate, ...]
     execution_order: list[int]
-    #: per-group native implementation (None = Python backend), plus the
-    #: shared library keeping the symbols alive.
-    c_groups: list = field(default_factory=list)
+    #: per-group native implementation — a C or NumPy compiled group, or
+    #: None for the generated-Python backend — plus, for C, the shared
+    #: library keeping the symbols alive.
+    native_groups: list = field(default_factory=list)
     c_library: object | None = None
 
     @property
     def native_group_count(self) -> int:
-        """How many groups run on the C backend."""
-        return sum(1 for g in self.c_groups if g is not None)
+        """How many groups run on a non-Python (C or NumPy) backend."""
+        return sum(1 for g in self.native_groups if g is not None)
 
     @property
     def num_views(self) -> int:
@@ -228,8 +234,6 @@ class LMFAO:
         batch.validate_against(self.db.schema)
         config = self.config
         _validate_execution_config(config)
-        if config.backend not in {"python", "c"}:
-            raise PlanError(f"unknown backend {config.backend!r}")
         functions = _collect_functions(batch)
 
         shared: tuple[Predicate, ...] = ()
@@ -254,10 +258,14 @@ class LMFAO:
             plans.append(plan)
             code.append(generate_group(plan, share_terms=config.share_scan_terms))
 
-        c_groups: list = [None] * len(plans)
+        native_groups: list = [None] * len(plans)
         c_library = None
         if config.backend == "c":
-            c_groups, c_library = self._compile_native(plans)
+            native_groups, c_library = self._compile_native(plans)
+        elif config.backend == "numpy":
+            from repro.core import npbackend
+
+            native_groups = npbackend.compile_numpy_groups(plans)
 
         execution_order = _topological_order(group_plan)
         return CompiledBatch(
@@ -273,7 +281,7 @@ class LMFAO:
             functions=functions,
             shared_predicates=shared,
             execution_order=execution_order,
-            c_groups=c_groups,
+            native_groups=native_groups,
             c_library=c_library,
         )
 
@@ -287,7 +295,7 @@ class LMFAO:
             attr: self.db.schema.attribute_kind(attr).value
             for attr in self.db.schema.all_attributes
         }
-        c_groups: list = [None] * len(plans)
+        native_groups: list = [None] * len(plans)
         native = []
         for i, plan in enumerate(plans):
             if not cbackend.supports_plan(plan, kinds):
@@ -297,13 +305,13 @@ class LMFAO:
             group = cbackend.CCompiledGroup(
                 plan=plan, symbol=symbol, args=args, source=source
             )
-            c_groups[i] = group
+            native_groups[i] = group
             native.append(group)
         library = None
         if native:
             library = cbackend.CBackendLibrary()
             library.compile(native)
-        return c_groups, library
+        return native_groups, library
 
     # --------------------------------------------------------------------- run
     def run(self, batch: QueryBatch) -> RunResult:
@@ -358,7 +366,11 @@ class LMFAO:
                     plan = compiled.plans[index]
                     start = time.perf_counter()
                     trie = self._trie(plan.node, plan.order, compiled.shared_predicates)
-                    native = compiled.c_groups[index] if compiled.c_groups else None
+                    native = (
+                        compiled.native_groups[index]
+                        if compiled.native_groups
+                        else None
+                    )
                     tries = partition_tries(
                         plan, trie, config.partitions, config.parallel_threshold
                     )
@@ -421,9 +433,11 @@ class LMFAO:
         All tasks — prepare and partition, across all in-flight groups —
         share one ``workers``-sized pool, and no task ever blocks on
         another, so the pool cannot deadlock. The scheduler itself sleeps
-        in :func:`concurrent.futures.wait` (no busy-wait polling) and any
-        task exception propagates out of the run immediately, cancelling
-        work that has not started.
+        in :func:`concurrent.futures.wait` (no busy-wait polling); when a
+        group completes, only its **consumers** (from the inverted
+        dependency index) are re-checked for launch — no full rescan of
+        all groups per wake-up — and any task exception propagates out of
+        the run immediately, cancelling work that has not started.
         """
         config = self.config
         num_groups = compiled.num_groups
@@ -431,6 +445,7 @@ class LMFAO:
             i: set(compiled.group_plan.dependencies.get(i, ()))
             for i in range(num_groups)
         }
+        consumers = _consumers_index(compiled.group_plan)
         done: set[int] = set()
         launched: set[int] = set()
         pending: dict = {}  # Future -> ("prepare", index, None) | ("part", index, p)
@@ -442,7 +457,9 @@ class LMFAO:
             started[index] = time.perf_counter()
             plan = compiled.plans[index]
             trie = self._trie(plan.node, plan.order, compiled.shared_predicates)
-            native = compiled.c_groups[index] if compiled.c_groups else None
+            native = (
+                compiled.native_groups[index] if compiled.native_groups else None
+            )
             tries = partition_tries(
                 plan, trie, config.partitions, config.parallel_threshold
             )
@@ -464,12 +481,16 @@ class LMFAO:
             )
 
         pool = ThreadPoolExecutor(max_workers=config.workers)
+
+        def launch(index: int) -> None:
+            launched.add(index)
+            pending[pool.submit(prepare, index)] = ("prepare", index, None)
+
         try:
+            for index in range(num_groups):
+                if not remaining[index]:
+                    launch(index)
             while len(done) < num_groups:
-                for index in range(num_groups):
-                    if index not in launched and remaining[index] <= done:
-                        launched.add(index)
-                        pending[pool.submit(prepare, index)] = ("prepare", index, None)
                 if not pending:
                     raise PlanError("group dependency graph is not schedulable")
                 ready, _ = wait(set(pending), return_when=FIRST_COMPLETED)
@@ -498,6 +519,9 @@ class LMFAO:
                         time.perf_counter() - started[index]
                     )
                     done.add(index)
+                    for consumer in consumers.get(index, ()):
+                        if consumer not in launched and remaining[consumer] <= done:
+                            launch(consumer)
         except BaseException:
             for future in pending:
                 future.cancel()
@@ -525,6 +549,11 @@ def _validate_execution_config(config: EngineConfig) -> None:
         raise PlanError(
             f"EngineConfig.parallel_threshold must be an integer >= 0 rows, "
             f"got {config.parallel_threshold!r}"
+        )
+    if config.backend not in {"python", "numpy", "c"}:
+        raise PlanError(
+            f"unknown backend {config.backend!r}; "
+            f"expected 'python', 'numpy' or 'c'"
         )
 
 
@@ -565,23 +594,32 @@ def _fold_predicates(
     return QueryBatch(queries)
 
 
-def _topological_order(group_plan: GroupPlan) -> list[int]:
-    indegree = {
-        i: len(group_plan.dependencies.get(i, ())) for i in range(group_plan.num_groups)
-    }
+def _consumers_index(group_plan: GroupPlan) -> dict[int, list[int]]:
+    """Inverted dependency map: producer group -> its consumer groups."""
     consumers: dict[int, list[int]] = {}
     for consumer, producers in group_plan.dependencies.items():
         for producer in producers:
             consumers.setdefault(producer, []).append(consumer)
-    ready = sorted(i for i, d in indegree.items() if d == 0)
+    return consumers
+
+
+def _topological_order(group_plan: GroupPlan) -> list[int]:
+    indegree = {
+        i: len(group_plan.dependencies.get(i, ())) for i in range(group_plan.num_groups)
+    }
+    consumers = _consumers_index(group_plan)
+    # heapq keeps deterministic smallest-index-first order without the
+    # O(n²) of list.pop(0) on wide DAGs.
+    ready = [i for i, d in indegree.items() if d == 0]
+    heapq.heapify(ready)
     order: list[int] = []
     while ready:
-        index = ready.pop(0)
+        index = heapq.heappop(ready)
         order.append(index)
         for consumer in consumers.get(index, ()):
             indegree[consumer] -= 1
             if indegree[consumer] == 0:
-                ready.append(consumer)
+                heapq.heappush(ready, consumer)
     if len(order) != group_plan.num_groups:
         raise PlanError("cyclic group dependencies — grouping bug")
     return order

@@ -1,0 +1,655 @@
+"""Vectorized NumPy execution backend: segment reduction over the CSR trie.
+
+The Python backend walks trie runs one at a time, paying interpreter cost
+per distinct prefix; the C backend removes that cost but needs gcc. This
+module is the portable middle ground: each :class:`MultiOutputPlan` is
+lowered to a **staged array program** over the existing
+:class:`~repro.data.trie.TrieIndex` level arrays, evaluating every plan
+construct for *all* runs of a level at once:
+
+* **run geometry** — per-level parent maps (``np.repeat`` over child-span
+  widths), ancestor maps (parent composition) and subtree span starts
+  (child-span composition) are derived once per index and cached on it;
+* **probes** — incoming-view lookups become vectorized binary searches:
+  each view's entries are key-coded per column (``np.searchsorted``
+  against the per-column sorted uniques), combined into mixed-radix
+  composite codes, and sorted once in ``prepare_bindings``; a probe then
+  codes the bound level's key columns the same way and searches the sorted
+  composites. Semi-join misses become a per-level **alive mask**, composed
+  down the trie exactly like the generated ``continue`` cascades;
+* **γ prefix products** — per-level ``values``-array multiplies, broadcast
+  down via ancestor maps in the same operand order as the generated code;
+* **β running sums** — ``np.add.reduceat`` segment sums over the composed
+  subtree spans, bottom-up per level (children of a chain first), with
+  dead runs zeroed before reduction;
+* **emissions** — aligned emissions materialise as masked
+  ``(key columns, value matrix)`` pairs; hash emissions group runs by
+  composite key codes and accumulate with ``np.bincount`` (which adds
+  weights in input order — trie order, like the interpreted loop); both
+  are converted to the engine's dict format at the boundary via
+  :class:`~repro.core.runtime.ArrayViewData`, which keeps the columnar
+  arrays alive for downstream NumPy consumers and the partition merge.
+
+**Supported plans.** Like the C backend, support is per plan with
+fallback to the Python backend: plans with **carried blocks** (incoming
+views whose group-by includes non-local attributes) are not lowered —
+their entry-list iteration is inherently per-prefix. Everything else is,
+including float trie levels and float view keys (which the C backend
+rejects).
+
+**Bit-exactness contract vs the Python backend.** Operand order of every
+product and the per-key accumulation order of every hash emission match
+the generated Python statement for statement, and on integer-valued data
+(where float64 arithmetic is exact) results are bit-identical — the
+property grid in ``tests/core/test_parallel_properties.py`` asserts dict
+equality. On non-integral float data, segment sums may reassociate
+(``np.add.reduceat`` uses blocked summation), so results agree only up to
+the usual ~1 ulp reduction drift; scalar conversion at the boundary means
+pure-count aggregates are exact up to 2**53 rather than arbitrary
+precision.
+
+**Concurrency.** Execution touches only per-call state plus read-only
+inputs (trie arrays, prepared binding tables), so the engine's
+domain-parallel mode can run partitions of one group concurrently; NumPy
+releases the GIL inside large array kernels, giving partial multicore
+scaling without gcc.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.plan import (
+    CountTerm,
+    Emission,
+    EmissionSlot,
+    FactorTerm,
+    MultiOutputPlan,
+    RowSumTerm,
+    Term,
+    ViewBinding,
+    ViewTerm,
+)
+from repro.core.runtime import ArrayViewData, _product_column, _product_signature
+from repro.data.trie import TrieIndex
+from repro.query.functions import Function
+from repro.util.errors import PlanError
+
+#: composite key codes stay below this in int64; beyond it the (rare) huge
+#: multi-column key spaces switch to exact Python-int (object) codes.
+_CODE_LIMIT = 2**62
+
+
+def supports_plan(plan: MultiOutputPlan) -> bool:
+    """Whether the NumPy backend can execute ``plan``.
+
+    Carried blocks iterate per-key entry lists inside the loop nest —
+    inherently per-prefix work — so such plans stay on the Python backend
+    (the engine falls back per group, like the C backend's
+    :func:`repro.core.cbackend.supports_plan`). Unlike C, float-valued
+    trie levels and view keys are fine: probes only need sortable columns.
+    """
+    if plan.carried_blocks:
+        return False
+    # Defensive: a binding with an empty key would bind at level -1, which
+    # the generated backends never emit probes for either.
+    return all(binding.bind_level >= 0 for binding in plan.bindings)
+
+
+def compile_numpy_groups(plans: Sequence[MultiOutputPlan]) -> list:
+    """Per-plan NumPy implementations (None = fall back to Python)."""
+    return [
+        NumpyCompiledGroup(plan) if supports_plan(plan) else None
+        for plan in plans
+    ]
+
+
+# ---------------------------------------------------------------------------
+# incoming-view binding tables
+# ---------------------------------------------------------------------------
+
+
+def _composite(codes: list[np.ndarray], bases: list[int], as_object: bool) -> np.ndarray:
+    """Mixed-radix combination of per-column codes (``code[p] < bases[p]``)."""
+    comp: np.ndarray | None = None
+    for code, base in zip(codes, bases):
+        piece = code.astype(object) if as_object else code.astype(np.int64)
+        comp = piece if comp is None else comp * base + piece
+    assert comp is not None
+    return comp
+
+
+class _BindingTable:
+    """One incoming view marshalled for vectorized probing.
+
+    Key columns are selected in the consumer binding's key order, coded
+    per column against their sorted uniques, combined into composite codes
+    and sorted once; a probe is then two ``np.searchsorted`` passes. The
+    table is read-only after construction and shared across partitions.
+    """
+
+    def __init__(self, binding: ViewBinding, group_by: tuple[str, ...], data: dict):
+        self.width = binding.num_aggregates
+        positions = [group_by.index(attr) for attr in binding.key]
+        columns, values = self._columns(binding, group_by, positions, data)
+        self.m = len(values)
+        self.values = values
+        self.part_uniques = [np.unique(column) for column in columns]
+        # base = len(uniques) + 1 reserves the top code for "not a producer
+        # value" on the probe side, keeping composites collision-free.
+        self.bases = [len(uniques) + 1 for uniques in self.part_uniques]
+        span = 1
+        for base in self.bases:
+            span *= base
+        self.as_object = span >= _CODE_LIMIT
+        codes = [
+            np.searchsorted(uniques, column)
+            for uniques, column in zip(self.part_uniques, columns)
+        ]
+        comp = _composite(codes, self.bases, self.as_object) if codes else None
+        if comp is None:  # cannot happen: bindings always have ≥ 1 key attr
+            comp = np.zeros(self.m, dtype=np.int64)
+        self.order = np.argsort(comp, kind="stable")
+        self.sorted_comp = comp[self.order]
+
+    @staticmethod
+    def _columns(binding, group_by, positions, data):
+        width = binding.num_aggregates
+        if isinstance(data, ArrayViewData) and data.has_columns:
+            return (
+                [data.key_columns[p] for p in positions],
+                np.asarray(data.value_matrix, dtype=np.float64),
+            )
+        m = len(data)
+        if m == 0:
+            empty = [np.empty(0, dtype=np.int64) for _ in positions]
+            return empty, np.zeros((0, width), dtype=np.float64)
+        keys = np.asarray(list(data.keys())).reshape(m, len(group_by))
+        values = np.asarray(list(data.values()), dtype=np.float64).reshape(m, width)
+        return [np.ascontiguousarray(keys[:, p]) for p in positions], values
+
+    def probe(self, probe_columns: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized lookup: ``(values matrix, found mask)`` per run.
+
+        Missing keys yield ``found=False`` with an arbitrary (but
+        in-bounds) values row — callers mask dead runs out of every sum.
+        """
+        n = len(probe_columns[0])
+        if self.m == 0:
+            return (
+                np.zeros((n, self.width), dtype=np.float64),
+                np.zeros(n, dtype=bool),
+            )
+        found = np.ones(n, dtype=bool)
+        codes = []
+        for uniques, column in zip(self.part_uniques, probe_columns):
+            pos = np.searchsorted(uniques, column)
+            clipped = np.minimum(pos, len(uniques) - 1)
+            valid = uniques[clipped] == column
+            found &= valid
+            codes.append(np.where(valid, clipped, len(uniques)))
+        comp = _composite(codes, self.bases, self.as_object)
+        idx = np.minimum(np.searchsorted(self.sorted_comp, comp), self.m - 1)
+        found &= self.sorted_comp[idx] == comp
+        rows = self.order[np.where(found, idx, 0)]
+        return self.values[rows], found
+
+
+# ---------------------------------------------------------------------------
+# plan evaluation
+# ---------------------------------------------------------------------------
+
+
+def _dense_codes(column: np.ndarray) -> tuple[np.ndarray, int]:
+    """Non-negative int codes for one key column, plus the code space size.
+
+    Integer columns whose value range is modest relative to their length
+    (the common case: categorical keys) take the sort-free offset path;
+    floats and wild integer ranges fall back to ``np.unique``'s sort.
+    """
+    if column.dtype.kind in "iu" and len(column):
+        lo = int(column.min())
+        span = int(column.max()) - lo + 1
+        if span <= max(4 * len(column), 1024):
+            return column.astype(np.int64) - lo, span
+    uniques, inverse = np.unique(column, return_inverse=True)
+    return inverse.astype(np.int64), max(len(uniques), 1)
+
+
+def _group_codes(columns: list[np.ndarray]) -> tuple[np.ndarray, int, np.ndarray]:
+    """Group rows by their key tuple: ``(ids, num_keys, first_index)``.
+
+    ``ids`` is a dense group id per row; ``first_index`` the first row of
+    each group (so representative key values are ``column[first_index]``).
+    Per-column codes combine in mixed radix; when the combined code space
+    stays modest the distinct codes are found with an O(n) bincount
+    presence scan instead of a sort.
+    """
+    n = len(columns[0])
+    comp: np.ndarray | None = None
+    space = 1
+    for column in columns:
+        codes, card = _dense_codes(column)
+        if comp is None:
+            comp, space = codes, card
+            continue
+        if space * card >= _CODE_LIMIT:
+            # re-densify so the next radix step cannot overflow int64
+            uniques, comp = np.unique(comp, return_inverse=True)
+            comp = comp.astype(np.int64)
+            space = max(len(uniques), 1)
+        comp = comp * card + codes
+        space *= card
+    if comp is None or n == 0:
+        return np.zeros(0, dtype=np.int64), 0, np.zeros(0, dtype=np.int64)
+    if space <= max(4 * n, 1024):
+        present = np.bincount(comp, minlength=space) > 0
+        num_keys = int(present.sum())
+        ids = (np.cumsum(present) - 1)[comp]
+    else:
+        _, ids = np.unique(comp, return_inverse=True)
+        ids = ids.astype(np.int64)
+        num_keys = int(ids.max()) + 1
+    # reversed scatter: for duplicate ids the *last* write wins, which in
+    # reversed row order is each group's first occurrence.
+    first_index = np.empty(num_keys, dtype=np.int64)
+    first_index[ids[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+    return ids, num_keys, first_index
+
+
+class _PlanEvaluation:
+    """One execution of a plan over one trie: the staged array program.
+
+    Stages run in dependency order — probes (alive masks + probed view
+    matrices), γ products (parents before children: plan order), β segment
+    sums (deepest level first, so chain children precede their parents),
+    then emissions. All per-run intermediates live only for this call;
+    run-geometry arrays are cached on the trie across calls.
+    """
+
+    def __init__(
+        self,
+        plan: MultiOutputPlan,
+        trie: TrieIndex,
+        tables: Mapping[str, _BindingTable],
+        functions: Mapping[str, Function],
+    ) -> None:
+        self.plan = plan
+        self.trie = trie
+        self.tables = tables
+        self.functions = functions
+        self.num_rel = len(plan.relation_levels)
+        self.cache = trie._np_cache
+        self._terms: dict[tuple, object] = {}
+        self._alive: list[np.ndarray | None] = [None] * self.num_rel
+        self._probed: dict[str, np.ndarray] = {}
+        self._gamma: dict[int, object] = {}
+        self._beta: dict[int, object] = {}
+        self._gamma_level = {node.id: node.level for node in plan.gammas}
+
+    # ------------------------------------------------------------ run geometry
+    def runs(self, k: int) -> int:
+        return self.trie.level(k).num_runs
+
+    def level_values(self, k: int) -> np.ndarray:
+        return self.trie.level(k).values
+
+    def parent(self, k: int) -> np.ndarray:
+        """Level-(k-1) run index containing each level-k run."""
+        key = ("parent", k)
+        got = self.cache.get(key)
+        if got is None:
+            lvl = self.trie.level(k - 1)
+            got = np.repeat(
+                np.arange(lvl.num_runs, dtype=np.int64),
+                lvl.child_end - lvl.child_start,
+            )
+            self.cache[key] = got
+        return got
+
+    def ancestors(self, j: int, k: int) -> np.ndarray:
+        """Level-j ancestor run index for each level-k run (j < k)."""
+        key = ("anc", j, k)
+        got = self.cache.get(key)
+        if got is None:
+            if j == k - 1:
+                got = self.parent(k)
+            else:
+                got = self.ancestors(j, k - 1)[self.parent(k)]
+            self.cache[key] = got
+        return got
+
+    def span_starts(self, j: int, k: int) -> np.ndarray:
+        """Start of each level-j run's contiguous span of level-k runs.
+
+        Subtree spans are non-empty (every run has ≥ 1 child) and tile
+        ``[0, runs(k))`` in order, so these starts are exactly the
+        ``np.add.reduceat`` segment boundaries for reducing level-k values
+        to level j.
+        """
+        key = ("span", j, k)
+        got = self.cache.get(key)
+        if got is None:
+            child_start = self.trie.level(j).child_start
+            if j == k - 1:
+                got = child_start
+            else:
+                got = self.span_starts(j + 1, k)[child_start]
+            self.cache[key] = got
+        return got
+
+    def down(self, value, j: int, k: int):
+        """Broadcast a level-j per-run value (or a scalar) to level k."""
+        if j == k or not isinstance(value, np.ndarray):
+            return value
+        return value[self.ancestors(j, k)]
+
+    def full(self, value, k: int) -> np.ndarray:
+        """A scalar (level -1 value) as a constant array over level k."""
+        if isinstance(value, np.ndarray):
+            return value
+        return np.full(self.runs(k), float(value))
+
+    # ----------------------------------------------------------------- stages
+    def term_value(self, term: Term):
+        """The term's per-run array at its own level (scalar at level -1)."""
+        got = self._terms.get(term.sig)
+        if got is not None:
+            return got
+        if isinstance(term, FactorTerm):
+            func = self.functions.get(term.func_name)
+            if func is None:
+                raise PlanError(
+                    f"no runtime function registered for {term.func_name!r}"
+                )
+            got = self.trie.level_function_array(
+                term.level, f"{term.func_name}({term.attr})", func
+            )
+        elif isinstance(term, ViewTerm):
+            got = self._probed[term.view][:, term.agg_index]
+        elif isinstance(term, (CountTerm, RowSumTerm)):
+            # pure trie functions: cache the materialised run arrays on
+            # the index, like the factor arrays and prefix-sum registers
+            key = ("term",) + term.sig
+            got = self.cache.get(key)
+            if got is None:
+                if isinstance(term, CountTerm):
+                    if term.level < 0:
+                        got = float(self.trie.num_rows)
+                    else:
+                        lvl = self.trie.level(term.level)
+                        got = (lvl.row_end - lvl.row_start).astype(np.float64)
+                else:
+                    psum = self.trie.prefix_sum(
+                        _product_signature(term.product),
+                        _product_column(term.product, self.functions),
+                    )
+                    if term.level < 0:
+                        got = float(psum[-1])
+                    else:
+                        lvl = self.trie.level(term.level)
+                        got = psum[lvl.row_end] - psum[lvl.row_start]
+                self.cache[key] = got
+        else:  # SubSumTerm needs carried blocks, which supports_plan rejects
+            raise PlanError(f"numpy backend cannot evaluate term {term!r}")
+        self._terms[term.sig] = got
+        return got
+
+    def _run_probes(self) -> None:
+        """Alive masks and probed view matrices, level by level.
+
+        The generated code ``continue``s out of a run's whole subtree on a
+        probe miss; here that is the alive mask — local found masks ANDed
+        with the parent level's mask mapped down. ``None`` means all runs
+        alive (no probes at or above the level)."""
+        at_level: dict[int, list[ViewBinding]] = {}
+        for binding in self.plan.bindings:
+            at_level.setdefault(binding.bind_level, []).append(binding)
+        mask: np.ndarray | None = None
+        for k in range(self.num_rel):
+            if mask is not None:
+                mask = mask[self.parent(k)]
+            for binding in at_level.get(k, ()):
+                columns = [
+                    self.full(self.down(self.level_values(j), j, k), k)
+                    for j in binding.key_levels
+                ]
+                values, found = self.tables[binding.view].probe(columns)
+                self._probed[binding.view] = values
+                mask = found if mask is None else mask & found
+            self._alive[k] = mask
+
+    def _run_gammas(self) -> None:
+        for node in self.plan.gammas:  # ids ascend: parents come first
+            value = None
+            if node.parent is not None:
+                value = self.down(
+                    self._gamma[node.parent],
+                    self._gamma_level[node.parent],
+                    node.level,
+                )
+            for term in node.terms:
+                piece = self.down(self.term_value(term), term.level, node.level)
+                value = piece if value is None else value * piece
+            self._gamma[node.id] = value
+
+    def _run_betas(self) -> None:
+        # Deepest levels first: a chain's child (strictly deeper) is
+        # reduced to its reset level — the parent's level — before the
+        # parent multiplies it in, mirroring the nested loop tails.
+        for node in sorted(self.plan.betas, key=lambda n: n.level, reverse=True):
+            k = node.level
+            value = None
+            for term in node.terms:
+                piece = self.down(self.term_value(term), term.level, k)
+                value = piece if value is None else value * piece
+            if node.child is not None:
+                child = self._beta[node.child]  # per-run at k (reset == k)
+                value = child if value is None else value * child
+            value = self.full(value, k)
+            mask = self._alive[k]
+            if mask is not None:
+                value = np.where(mask, value, 0.0)
+            self._beta[node.id] = self._segment_sum(value, k, node.reset_level)
+
+    def _segment_sum(self, value: np.ndarray, k: int, reset: int):
+        if len(value) == 0:
+            return 0.0 if reset < 0 else np.zeros(self.runs(reset))
+        if reset < 0:
+            return float(np.add.reduceat(value, np.array([0]))[0])
+        return np.add.reduceat(value, self.span_starts(reset, k))
+
+    # -------------------------------------------------------------- emissions
+    def _emission_mask(self, k: int, support: int | None) -> np.ndarray | None:
+        mask = self._alive[k]
+        if support is not None:
+            positive = self.full(self._beta[support], k) > 0
+            mask = positive if mask is None else mask & positive
+        return mask
+
+    def _key_columns(self, key_parts, k: int) -> list[np.ndarray]:
+        return [
+            self.full(self.down(self.level_values(part.level), part.level, k), k)
+            for part in key_parts
+        ]
+
+    def _slot_columns(self, slots: Sequence[EmissionSlot], k: int) -> list[np.ndarray]:
+        columns = []
+        for slot in slots:
+            value = None
+            if slot.gamma is not None:
+                value = self.down(
+                    self._gamma[slot.gamma], self._gamma_level[slot.gamma], k
+                )
+            if slot.beta is not None:
+                beta = self._beta[slot.beta]  # per-run at k (reset == k)
+                value = beta if value is None else value * beta
+            if value is None:
+                value = 1.0
+            columns.append(self.full(value, k))
+        return columns
+
+    def _scalar_output(self, emission: Emission) -> dict:
+        values = []
+        for slot in emission.slots:
+            value = None
+            if slot.gamma is not None:
+                value = self._gamma[slot.gamma]
+            if slot.beta is not None:
+                beta = self._beta[slot.beta]
+                value = beta if value is None else value * beta
+            values.append(1.0 if value is None else float(value))
+        return {(): values}
+
+    def _aligned_output(self, emission: Emission) -> ArrayViewData:
+        first = emission.slots[0]
+        k = first.level
+        mask = self._emission_mask(k, first.support)
+        keys = self._key_columns(first.key_parts, k)
+        matrix = np.column_stack(self._slot_columns(emission.slots, k))
+        if mask is not None:
+            keys = [column[mask] for column in keys]
+            matrix = matrix[mask]
+        return ArrayViewData.from_arrays(keys, matrix)
+
+    def _hash_key_table(self, k: int, key_parts) -> tuple:
+        """The level-k runs grouped by their emission key (cached on trie).
+
+        Key columns are trie level values broadcast down ancestor maps —
+        a pure function of the index — so the grouping (dense group id
+        per run, representative key values per group) is computed once
+        and shared across executions and plans on the same index.
+        """
+        key = ("hashkeys", k, tuple(part.level for part in key_parts))
+        got = self.cache.get(key)
+        if got is None:
+            columns = self._key_columns(key_parts, k)
+            ids, num_keys, first_index = _group_codes(columns)
+            representative = [column[first_index] for column in columns]
+            got = (ids, num_keys, representative)
+            self.cache[key] = got
+        return got
+
+    def _hash_output(self, emission: Emission) -> ArrayViewData:
+        """Probe-accumulate emissions as a masked group-by over runs.
+
+        Every slot of a non-carried emission shares the host level and
+        key parts (the emit level is the deepest group-by level and the
+        key parts come straight from the group-by); slots differ only in
+        their support guard, so they are grouped per guard like the code
+        generator groups them. Each slot contributes per-run values that
+        ``np.bincount`` sums per key-group id — in input (trie) order,
+        like the interpreted dict accumulation; dead runs contribute an
+        exact 0.0. A key exists iff some guarded group had a surviving
+        run under it, matching the generated probe-accumulate exactly.
+        """
+        first = emission.slots[0]
+        k, key_parts = first.level, first.key_parts
+        if any(
+            slot.level != k or slot.key_parts != key_parts
+            for slot in emission.slots
+        ):  # pragma: no cover - decomposition invariant for non-carried plans
+            raise PlanError(
+                f"{emission.artifact}: slots disagree on host level/key parts"
+            )
+        ids, num_keys, representative = self._hash_key_table(k, key_parts)
+        by_support: dict[int | None, list[EmissionSlot]] = {}
+        for slot in emission.slots:
+            by_support.setdefault(slot.support, []).append(slot)
+        matrix = np.zeros((num_keys, emission.width))
+        partial_fired = np.zeros(num_keys, dtype=bool)
+        all_fired = False
+        for support, slots in by_support.items():
+            mask = self._emission_mask(k, support)
+            columns = self._slot_columns(slots, k)
+            if mask is None:
+                all_fired = True
+            else:
+                partial_fired |= (
+                    np.bincount(ids[mask], minlength=num_keys) > 0
+                )
+                columns = [np.where(mask, column, 0.0) for column in columns]
+            for slot, column in zip(slots, columns):
+                matrix[:, slot.slot] += np.bincount(
+                    ids, weights=column, minlength=num_keys
+                )
+        if not all_fired and num_keys and not partial_fired.all():
+            representative = [column[partial_fired] for column in representative]
+            matrix = matrix[partial_fired]
+        return ArrayViewData.from_arrays(list(representative), matrix)
+
+    def outputs(self) -> dict[str, dict]:
+        self._run_probes()
+        self._run_gammas()
+        self._run_betas()
+        out: dict[str, dict] = {}
+        for emission in self.plan.emissions:
+            if not emission.group_by:
+                out[emission.artifact] = self._scalar_output(emission)
+            elif emission.aligned:
+                out[emission.artifact] = self._aligned_output(emission)
+            else:
+                out[emission.artifact] = self._hash_output(emission)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# the backend object the engine dispatches to
+# ---------------------------------------------------------------------------
+
+
+class NumpyCompiledGroup:
+    """One plan lowered to the staged NumPy array program.
+
+    Implements the same execution protocol as
+    :class:`repro.core.cbackend.CCompiledGroup` (``prepare_bindings`` /
+    ``execute``), so the runtime dispatch, the partitioned path and the
+    incremental maintainer drive it unchanged.
+    """
+
+    def __init__(self, plan: MultiOutputPlan) -> None:
+        if not supports_plan(plan):
+            raise PlanError(
+                f"plan {plan.group_name} is not supported by the numpy backend"
+            )
+        self.plan = plan
+
+    def prepare_bindings(
+        self,
+        view_data: Mapping[str, dict],
+        view_group_by: Mapping[str, tuple[str, ...]],
+    ) -> dict[str, _BindingTable]:
+        """Marshal every incoming view into a probe table, once per group.
+
+        Tables are read-only and shared across concurrent per-partition
+        executions. ``ArrayViewData`` inputs (produced by upstream NumPy
+        groups) skip the dict-to-array conversion entirely.
+        """
+        tables: dict[str, _BindingTable] = {}
+        for binding in self.plan.bindings:
+            data = view_data.get(binding.view)
+            if data is None:
+                raise PlanError(f"missing incoming view data for {binding.view}")
+            tables[binding.view] = _BindingTable(
+                binding, view_group_by[binding.view], data
+            )
+        return tables
+
+    def execute(
+        self,
+        trie: TrieIndex,
+        view_data: Mapping[str, dict],
+        view_group_by: Mapping[str, tuple[str, ...]],
+        functions: Mapping[str, Function],
+        bind_entries: dict | None = None,
+    ) -> dict[str, dict]:
+        if trie.order != self.plan.order:
+            raise PlanError(
+                f"trie order {trie.order} does not match plan order "
+                f"{self.plan.order}"
+            )
+        if bind_entries is None:
+            bind_entries = self.prepare_bindings(view_data, view_group_by)
+        return _PlanEvaluation(self.plan, trie, bind_entries, functions).outputs()

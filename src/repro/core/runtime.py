@@ -36,6 +36,52 @@ from repro.util.errors import PlanError
 ViewData = dict
 
 
+class ArrayViewData(dict):
+    """View contents ``key → [aggregates]`` plus optional columnar arrays.
+
+    The NumPy backend emits these: the dict contents are what every
+    consumer sees (compatible with the Python backend's plain dicts), and
+    the parallel ``key_columns`` / ``value_matrix`` arrays let columnar
+    consumers — the NumPy backend's binding preparation and the aligned
+    partition merge — skip per-entry dict iteration. ``key_columns`` are in
+    the producer's canonical group-by order.
+
+    Mutating the dict contents in place desynchronises the arrays; call
+    :meth:`drop_columnar` first (the incremental maintainer does, before a
+    numeric delta merge).
+    """
+
+    __slots__ = ("key_columns", "value_matrix")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.key_columns: list[np.ndarray] | None = None
+        self.value_matrix: np.ndarray | None = None
+
+    @property
+    def has_columns(self) -> bool:
+        return self.value_matrix is not None
+
+    def drop_columnar(self) -> None:
+        """Forget the columnar arrays (keep the dict contents)."""
+        self.key_columns = None
+        self.value_matrix = None
+
+    @classmethod
+    def from_arrays(
+        cls, key_columns: list[np.ndarray], value_matrix: np.ndarray
+    ) -> "ArrayViewData":
+        """Materialise dict contents from parallel key/value arrays."""
+        if len(key_columns) == 1:
+            keys = key_columns[0].tolist()
+        else:
+            keys = list(zip(*(column.tolist() for column in key_columns)))
+        data = cls(zip(keys, value_matrix.tolist()))
+        data.key_columns = list(key_columns)
+        data.value_matrix = value_matrix
+        return data
+
+
 def _product_signature(product: tuple[tuple[str, str], ...]) -> str:
     return "*".join(f"{func}({attr})" for attr, func in product)
 
@@ -229,8 +275,9 @@ def prepare_bindings(
     """Marshal one group's incoming-view bindings for its backend, once.
 
     The returned object is backend-specific (reshaped dicts for Python,
-    flattened entry arrays for C) and is treated as immutable by every
-    per-partition execution, so it is safe to share across threads.
+    flattened entry arrays for C, sorted key-code tables for NumPy) and is
+    treated as immutable by every per-partition execution, so it is safe
+    to share across threads.
     """
     if native is not None:
         return native.prepare_bindings(view_data, view_group_by)
@@ -262,7 +309,10 @@ def merge_partial_outputs(
 
     * **aligned** emissions (group-by = attribute-order prefix) are keyed by
       the level-0 attribute first, and level-0 values are disjoint across
-      partitions — so the partial dicts concatenate (disjoint union);
+      partitions — so the partial dicts concatenate (disjoint union). When
+      every partial is an :class:`ArrayViewData` (the NumPy backend), the
+      key columns and value matrices concatenate vectorised as well, so the
+      merged view keeps columnar access for downstream NumPy consumers;
     * **accumulating** emissions (hash / scalar) sum per key and slot, in
       partition order. A key exists in the full output iff some partition
       emitted it: key support is itself a sum over rows, so it is positive
@@ -277,9 +327,22 @@ def merge_partial_outputs(
     for emission in plan.emissions:
         name = emission.artifact
         if emission.aligned and emission.group_by:
-            out: dict = {}
-            for outputs in partial:
-                out.update(outputs[name])
+            pieces = [outputs[name] for outputs in partial]
+            if all(
+                isinstance(p, ArrayViewData) and p.has_columns for p in pieces
+            ):
+                num_parts = len(pieces[0].key_columns)
+                out: dict = ArrayViewData.from_arrays(
+                    [
+                        np.concatenate([p.key_columns[i] for p in pieces])
+                        for i in range(num_parts)
+                    ],
+                    np.concatenate([p.value_matrix for p in pieces]),
+                )
+            else:
+                out = {}
+                for outputs in partial:
+                    out.update(outputs[name])
         else:
             out = {}
             for outputs in partial:

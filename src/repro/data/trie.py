@@ -72,6 +72,10 @@ class TrieIndex:
         self._level_functions: dict[tuple, object] = {}
         self._prefix_lists: dict[str, list] = {}
         self._partition_cache: dict[int, list["TrieIndex"]] = {}
+        #: scratch cache for derived run geometry (parent maps, ancestor
+        #: maps, span starts) computed by the NumPy backend — keyed and
+        #: owned by repro.core.npbackend, invalidated with the index.
+        self._np_cache: dict = {}
 
     @classmethod
     def from_sorted(cls, relation: Relation, order: Sequence[str]) -> "TrieIndex":

@@ -253,7 +253,7 @@ class MaintainedBatch:
         """
         compiled = self.compiled
         plan = compiled.plans[index]
-        native = compiled.c_groups[index] if compiled.c_groups else None
+        native = compiled.native_groups[index] if compiled.native_groups else None
         tries = partition_tries(
             plan, trie, self.config.partitions, self.config.parallel_threshold
         )
@@ -283,7 +283,14 @@ class MaintainedBatch:
             store = self._view_data if is_view else self._query_raw
             name = emission.artifact
             if merge is not None:
-                artifact_changed = merge(store[name], outputs[name])
+                target = store[name]
+                # A NumPy-backend view carries columnar arrays mirroring
+                # its dict contents; the in-place numeric merge below would
+                # silently desynchronise them, so drop them first.
+                drop = getattr(target, "drop_columnar", None)
+                if drop is not None:
+                    drop()
+                artifact_changed = merge(target, outputs[name])
             else:
                 old = store.get(name)
                 new = outputs[name]

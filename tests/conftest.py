@@ -5,10 +5,16 @@ as the *default* engine configuration by exporting::
 
     LMFAO_TEST_WORKERS=4 LMFAO_TEST_PARTITIONS=4 LMFAO_TEST_PARALLEL_THRESHOLD=0
 
+and the NumPy-backend leg makes the vectorized backend the default with::
+
+    LMFAO_TEST_BACKEND=numpy
+
 Those variables rewrite the corresponding :class:`EngineConfig` defaults
 below, so every test that does not pin its own execution knobs exercises
-the parallel scheduler and the partition merge path. Tests that construct
-explicit configs (including the differential grids) are unaffected.
+the parallel scheduler, the partition merge path and/or the chosen
+backend. Tests that construct explicit configs (including the
+differential grids, which pin ``backend="python"`` baselines) are
+unaffected.
 """
 
 from __future__ import annotations
@@ -24,12 +30,17 @@ from repro.paper import FAVORITA_TREE
 
 
 def _override_engine_defaults() -> None:
-    overrides = {
+    int_overrides = {
         "workers": os.environ.get("LMFAO_TEST_WORKERS"),
         "partitions": os.environ.get("LMFAO_TEST_PARTITIONS"),
         "parallel_threshold": os.environ.get("LMFAO_TEST_PARALLEL_THRESHOLD"),
     }
-    overrides = {name: int(v) for name, v in overrides.items() if v is not None}
+    overrides: dict[str, object] = {
+        name: int(v) for name, v in int_overrides.items() if v is not None
+    }
+    backend = os.environ.get("LMFAO_TEST_BACKEND")
+    if backend:
+        overrides["backend"] = backend
     if not overrides:
         return
     names = [f.name for f in dataclasses.fields(EngineConfig)]

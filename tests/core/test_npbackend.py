@@ -1,0 +1,248 @@
+"""NumPy backend: differential equality with the Python backend."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import EngineConfig, LMFAO
+from repro.core.npbackend import NumpyCompiledGroup, supports_plan
+from repro.core.runtime import ArrayViewData
+from repro.data import Attribute, Database, Relation, RelationSchema
+from repro.paper import EXAMPLE_ROOTS, FAVORITA_TREE, example_queries
+from repro.query import Aggregate, Factor, Op, Predicate, Query, QueryBatch
+from repro.query.functions import identity
+from repro.util.errors import CyclicSchemaError, PlanError
+
+from tests.helpers import assert_results_equal
+from tests.strategies import instances
+
+_C = Attribute.categorical
+_F = Attribute.continuous
+
+
+def _compare_backends(db, batch, **config):
+    python_run = LMFAO(db, EngineConfig(backend="python", **config)).run(batch)
+    numpy_run = LMFAO(db, EngineConfig(backend="numpy", **config)).run(batch)
+    for name in python_run.results:
+        assert_results_equal(
+            numpy_run.results[name], python_run.results[name], rel_tol=1e-9
+        )
+    return numpy_run
+
+
+def _integer_db(n=4000, seed=11):
+    """Integer-valued star schema: float64 arithmetic is exact on it."""
+    rng = np.random.default_rng(seed)
+    fact = Relation(
+        RelationSchema("Fact", (_C("k"), _C("g"), _C("h"), _F("x"))),
+        {
+            "k": rng.integers(0, 40, n),
+            "g": rng.integers(0, 6, n),
+            "h": rng.integers(0, 4, n),
+            "x": rng.integers(-4, 9, n).astype(float),
+        },
+    )
+    dim = Relation(
+        RelationSchema("Dim", (_C("k"), _C("w"), _F("z"))),
+        {
+            "k": np.arange(40),
+            "w": rng.integers(0, 5, 40),
+            "z": rng.integers(1, 6, 40).astype(float),
+        },
+    )
+    return Database([fact, dim])
+
+
+def _integer_batch():
+    """Scalar + aligned + hash emissions, cross-node group-bys, a filter."""
+    return QueryBatch(
+        [
+            Query("total", aggregates=(
+                Aggregate((Factor("x", identity),)), Aggregate.count(),
+            )),
+            Query("by_g", group_by=("g",), aggregates=(
+                Aggregate((Factor("x", identity), Factor("z", identity))),
+            )),
+            Query("by_h", group_by=("h",), aggregates=(
+                Aggregate((Factor("x", identity),)), Aggregate.count(),
+            )),
+            Query("by_gh", group_by=("g", "h"), aggregates=(
+                Aggregate((Factor("x", identity),)),
+            )),
+            Query("by_w", group_by=("w",), aggregates=(
+                Aggregate((Factor("x", identity),)),
+            )),
+            Query("filtered", group_by=("g",), aggregates=(
+                Aggregate.count(),
+            ), where=(Predicate("h", Op.EQ, 1),)),
+        ]
+    )
+
+
+def test_paper_example_fully_vectorized(favorita_db):
+    run = _compare_backends(
+        favorita_db,
+        example_queries(),
+        join_tree_edges=FAVORITA_TREE,
+        root_override=EXAMPLE_ROOTS,
+    )
+    assert run.compiled.native_group_count == run.compiled.num_groups
+
+
+def test_carried_blocks_fall_back_to_python(favorita_db):
+    """Two-categorical covariance queries carry attributes across nodes."""
+    from repro.ml import covariance_batch
+    from repro.ml.features import favorita_features
+
+    batch = covariance_batch(favorita_features(favorita_db))
+    run = _compare_backends(favorita_db, batch, join_tree_edges=FAVORITA_TREE)
+    assert 0 < run.compiled.native_group_count < run.compiled.num_groups
+    carried = [p for p in run.compiled.plans if p.carried_blocks]
+    assert carried and not any(supports_plan(p) for p in carried)
+    with pytest.raises(PlanError):
+        NumpyCompiledGroup(carried[0])
+
+
+def test_float_keys_run_natively(retailer_db):
+    """Float group-bys (rejected by the C backend) stay vectorized."""
+    batch = QueryBatch(
+        [Query("hist", group_by=("prize",), aggregates=(Aggregate.count(),))]
+    )
+    run = _compare_backends(retailer_db, batch)
+    assert run.compiled.native_group_count == run.compiled.num_groups
+
+
+def test_bit_exact_on_integer_data():
+    db = _integer_db()
+    batch = _integer_batch()
+    base = LMFAO(db, EngineConfig(backend="python", workers=1, partitions=1)).run(
+        batch
+    )
+    run = LMFAO(db, EngineConfig(backend="numpy", workers=1, partitions=1)).run(
+        batch
+    )
+    for name in base.results:
+        assert run.results[name].groups == base.results[name].groups, name
+
+
+@pytest.mark.parametrize("workers,partitions", [(1, 3), (4, 1), (4, 4)])
+def test_bit_exact_partitioned(workers, partitions):
+    db = _integer_db()
+    batch = _integer_batch()
+    base = LMFAO(db, EngineConfig(backend="python", workers=1, partitions=1)).run(
+        batch
+    )
+    run = LMFAO(
+        db,
+        EngineConfig(
+            backend="numpy",
+            workers=workers,
+            partitions=partitions,
+            parallel_threshold=0,
+        ),
+    ).run(batch)
+    for name in base.results:
+        assert run.results[name].groups == base.results[name].groups, name
+
+
+@pytest.mark.parametrize("partitions", [1, 3])
+def test_incremental_maintenance_bit_compatible(partitions):
+    """Inserts (numeric path) and deletes (rescan) through the backend."""
+    db = _integer_db()
+    batch = _integer_batch()
+    config = EngineConfig(
+        backend="numpy", partitions=partitions, parallel_threshold=0
+    )
+    handle = LMFAO(db, config).maintain(batch)
+    handle.apply(inserts={"Fact": [(1, 2, 3, 4.0), (3, 1, 0, -2.0)]})
+    recomputed = handle.recompute()
+    for name in recomputed.results:
+        assert handle[name].groups == recomputed.results[name].groups, name
+    handle.apply(deletes={"Fact": [(1, 2, 3, 4.0)]})
+    recomputed = handle.recompute()
+    for name in recomputed.results:
+        assert handle[name].groups == recomputed.results[name].groups, name
+
+
+def test_empty_relation():
+    db = _integer_db(n=0)
+    batch = _integer_batch()
+    base = LMFAO(db, EngineConfig(backend="python")).run(batch)
+    run = LMFAO(db, EngineConfig(backend="numpy")).run(batch)
+    for name in base.results:
+        assert run.results[name].groups == base.results[name].groups, name
+
+
+def test_outputs_keep_columnar_arrays():
+    """Non-scalar emissions come back as ArrayViewData with intact arrays."""
+    from repro.core.runtime import node_trie
+
+    db = _integer_db()
+    engine = LMFAO(db, EngineConfig(backend="numpy"))
+    compiled = engine.compile(_integer_batch())
+    index = next(
+        i
+        for i, plan in enumerate(compiled.plans)
+        if compiled.native_groups[i] is not None
+        and any(e.group_by for e in plan.emissions)
+        and not plan.bindings
+    )
+    plan = compiled.plans[index]
+    trie = node_trie(db, plan.node, plan.order, (), {})
+    outputs = compiled.native_groups[index].execute(
+        trie, {}, {}, compiled.functions
+    )
+    keyed = [e.artifact for e in plan.emissions if e.group_by]
+    assert keyed
+    for name in keyed:
+        data = outputs[name]
+        assert isinstance(data, ArrayViewData) and data.has_columns
+        rebuilt = ArrayViewData.from_arrays(data.key_columns, data.value_matrix)
+        assert dict(rebuilt) == dict(data)
+
+
+def test_missing_view_data_raises(favorita_db, favorita_engine):
+    compiled = favorita_engine.compile(example_queries())
+    plan = next(p for p in compiled.plans if p.bindings and supports_plan(p))
+    group = NumpyCompiledGroup(plan)
+    with pytest.raises(PlanError):
+        group.prepare_bindings({}, {})
+
+
+def test_trie_order_mismatch_raises(favorita_db, favorita_engine):
+    from repro.data import TrieIndex
+
+    compiled = favorita_engine.compile(example_queries())
+    plan = next(p for p in compiled.plans if supports_plan(p))
+    group = NumpyCompiledGroup(plan)
+    wrong = TrieIndex(favorita_db.relation(plan.node), ())
+    with pytest.raises(PlanError):
+        group.execute(wrong, {}, {}, compiled.functions)
+
+
+def test_array_view_data_roundtrip():
+    data = ArrayViewData.from_arrays(
+        [np.array([3, 1, 2])], np.array([[1.0], [2.0], [3.0]])
+    )
+    assert data == {3: [1.0], 1: [2.0], 2: [3.0]}
+    assert data.has_columns
+    data.drop_columnar()
+    assert not data.has_columns
+    assert data == {3: [1.0], 1: [2.0], 2: [3.0]}
+    multi = ArrayViewData.from_arrays(
+        [np.array([1, 1]), np.array([4, 5])], np.array([[1.0, 0.0], [0.5, 2.0]])
+    )
+    assert multi == {(1, 4): [1.0, 0.0], (1, 5): [0.5, 2.0]}
+
+
+@given(instance=instances())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_numpy_backend_matches_python_on_random_instances(instance):
+    try:
+        _compare_backends(instance.db, instance.batch)
+    except CyclicSchemaError:
+        pytest.skip("generated schema had a disconnected join graph")

@@ -2,9 +2,11 @@
 
 The anchor property of the domain-parallel layer: for any tree-shaped
 schema, any data and any sum-product batch, every point of the execution
-grid ``{workers} × {partitions} × {backend}`` must produce **bit-for-bit**
-the same result dictionaries as the sequential Python baseline
-(``workers=1, partitions=1``). The generated instances are integer-valued
+grid ``{python, numpy, c} × {workers} × {partitions}`` must produce
+**bit-for-bit** the same result dictionaries as the sequential Python
+baseline (``backend="python", workers=1, partitions=1``; non-Python
+backends are additionally checked at ``1 × 1``). The generated instances
+are integer-valued
 (see ``tests/strategies.py``), so float64 arithmetic is exact and
 reassociation by partitioning cannot introduce drift — any difference is a
 real merge or scheduling bug, never numeric noise.
@@ -60,7 +62,10 @@ def _grid_matches_sequential_python(instance, backend: str) -> None:
     )
     runner = LMFAO(instance.db, config)
     compiled = runner.compile(instance.batch)
-    for workers, partitions in _GRID:
+    # for non-Python backends the sequential 1×1 point is itself a
+    # cross-backend differential check, so include it in the grid
+    grid = _GRID if backend == "python" else [(1, 1), *_GRID]
+    for workers, partitions in grid:
         runner.config = replace(config, workers=workers, partitions=partitions)
         run = runner.execute(compiled)
         for name, expected in baseline.results.items():
@@ -75,6 +80,12 @@ def _grid_matches_sequential_python(instance, backend: str) -> None:
 @settings(max_examples=25, **_SETTINGS)
 def test_python_grid_bit_exact(instance):
     _grid_matches_sequential_python(instance, "python")
+
+
+@given(instance=instances())
+@settings(max_examples=12, **_SETTINGS)
+def test_numpy_grid_bit_exact(instance):
+    _grid_matches_sequential_python(instance, "numpy")
 
 
 @pytest.mark.skipif(not gcc_available(), reason="gcc not on PATH")

@@ -40,6 +40,100 @@ def test_scalar_binding_reorders_keys():
     assert reshaped == {(2, 1): [5.0]}
 
 
+def test_scalar_binding_reorders_three_part_keys():
+    """The defensive branch: same attribute set, divergent orders.
+
+    Cannot arise while both sides keep name-sorted keys, but the reshape
+    must stay correct if conventions ever diverge — every entry is
+    re-keyed by position, values untouched and aliased (no copies).
+    """
+    data = {(1, 2, 3): [5.0, 6.0], (4, 5, 6): [7.0, 8.0]}
+    binding = ViewBinding(
+        view="V",
+        num_aggregates=2,
+        key=("c", "a", "b"),
+        key_levels=(0, 1, 2),
+        bind_level=2,
+        carried=(),
+    )
+    reshaped = reshape_binding(binding, ("a", "b", "c"), data)
+    assert reshaped == {(3, 1, 2): [5.0, 6.0], (6, 4, 5): [7.0, 8.0]}
+    assert reshaped[(3, 1, 2)] is data[(1, 2, 3)]
+
+
+def test_merge_partial_outputs_with_empty_partition():
+    """A partition that emitted nothing for an artifact merges as identity.
+
+    Empty *tries* cannot reach the merge (partitions are never empty),
+    but a partition can legitimately emit an empty dict — every run under
+    it failed a semi-join probe or support guard.
+    """
+    from repro.core.plan import Emission, MultiOutputPlan, RelationLevel
+    from repro.core.runtime import merge_partial_outputs
+
+    plan = MultiOutputPlan(
+        group_name="g",
+        node="R",
+        relation_levels=(RelationLevel(0, "a"),),
+        carried_blocks=(),
+        bindings=(),
+        subsums=(),
+        gammas=(),
+        betas=(),
+        emissions=(
+            Emission("Q", "query", 2, ("a",), (), aligned=False),
+            Emission("V", "view", 1, ("a",), (), aligned=True),
+        ),
+        row_products=(),
+        level_functions=(),
+    )
+    partial = [
+        {"Q": {1: [1.0, 2.0]}, "V": {5: [1.0]}},
+        {"Q": {}, "V": {}},
+        {"Q": {1: [0.5, 0.0], 2: [3.0, 1.0]}, "V": {6: [2.0]}},
+    ]
+    merged = merge_partial_outputs(plan, partial)
+    assert merged["Q"] == {1: [1.5, 2.0], 2: [3.0, 1.0]}
+    assert merged["V"] == {5: [1.0], 6: [2.0]}
+    # inputs untouched (merge builds fresh containers)
+    assert partial[0]["Q"] == {1: [1.0, 2.0]}
+
+
+def test_merge_partial_outputs_aligned_columnar_fast_path():
+    """ArrayViewData partials concatenate vectorised, arrays intact."""
+    import numpy as np
+
+    from repro.core.plan import Emission, MultiOutputPlan, RelationLevel
+    from repro.core.runtime import ArrayViewData, merge_partial_outputs
+
+    plan = MultiOutputPlan(
+        group_name="g",
+        node="R",
+        relation_levels=(RelationLevel(0, "a"),),
+        carried_blocks=(),
+        bindings=(),
+        subsums=(),
+        gammas=(),
+        betas=(),
+        emissions=(Emission("V", "view", 1, ("a",), (), aligned=True),),
+        row_products=(),
+        level_functions=(),
+    )
+    parts = [
+        ArrayViewData.from_arrays([np.array([1, 2])], np.array([[1.0], [2.0]])),
+        ArrayViewData.from_arrays([np.array([], dtype=np.int64)], np.zeros((0, 1))),
+        ArrayViewData.from_arrays([np.array([3])], np.array([[4.0]])),
+    ]
+    merged = merge_partial_outputs(plan, [{"V": p} for p in parts])
+    assert merged["V"] == {1: [1.0], 2: [2.0], 3: [4.0]}
+    assert isinstance(merged["V"], ArrayViewData) and merged["V"].has_columns
+    assert merged["V"].key_columns[0].tolist() == [1, 2, 3]
+    # a plain-dict partial disables the columnar fast path but not the merge
+    merged = merge_partial_outputs(plan, [{"V": parts[0]}, {"V": {9: [5.0]}}])
+    assert merged["V"] == {1: [1.0], 2: [2.0], 9: [5.0]}
+    assert not isinstance(merged["V"], ArrayViewData)
+
+
 def test_carried_binding_groups_entries():
     data = {(1, 7): [2.0], (1, 8): [3.0], (2, 7): [4.0]}
     binding = _binding(("a",), carried=("c",), block=0)

@@ -83,7 +83,12 @@ def test_duplicate_heavy_data():
 def test_unknown_backend_is_rejected(favorita_db):
     from repro.paper import example_queries
 
-    engine = LMFAO(favorita_db, EngineConfig(backend="rust"))
+    # rejected up front, at engine construction …
+    with pytest.raises(PlanError):
+        LMFAO(favorita_db, EngineConfig(backend="rust"))
+    # … and again at compile time if the config was swapped afterwards
+    engine = LMFAO(favorita_db, EngineConfig())
+    engine.config = EngineConfig(backend="rust")
     with pytest.raises(PlanError):
         engine.compile(example_queries())
 

@@ -1,0 +1,41 @@
+"""Smoke-run of the three-backend grid benchmark so the script can't rot.
+
+``benchmarks/bench_parallel.py`` lives outside the package and is only
+exercised by CI's benchmark job otherwise; this tiny-dataset run keeps its
+grid wiring (three backends × workers × partitions, built-in bit-exactness
+assertions, report schema) under the tier-1 suite. The ≥5× numpy speedup
+gate is row-gated inside the script and only *recorded* at smoke scale.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_BENCH = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_parallel.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_parallel_smoke", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_parallel_grid_smoke(tmp_path):
+    bench = _load_bench()
+    out = tmp_path / "BENCH_parallel.json"
+    assert bench.main(["--rows", "3000", "--repeats", "1", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    backends = {point["backend"] for point in report["grid"]}
+    assert {"python", "numpy"} <= backends  # c only where gcc exists
+    assert all(
+        point["bit_exact_vs_sequential_python"] for point in report["grid"]
+    )
+    assert report["numpy_over_python_sequential"] > 0
+    assert "skipped" in report["numpy_speedup_assertion"]
+    # numpy runs every group of this batch natively at every grid point
+    for point in report["grid"]:
+        if point["backend"] == "numpy":
+            assert point["native_groups"] == point["num_groups"]
