@@ -16,7 +16,15 @@ and checks three claims:
   release the GIL, so trie partitions really run concurrently). On
   smaller machines the speedup is recorded but not asserted; set
   ``LMFAO_BENCH_STRICT=0`` to downgrade both assertions to warnings on
-  unusual hardware.
+  unusual hardware;
+* **carried coverage** — a second, carried-heavy batch (every keyed
+  query groups by a Fact attribute *and* the Dim attribute ``w``, so
+  each root plan probes a carried view) runs the NumPy leg across the
+  full ``workers × partitions`` grid against the sequential Python
+  oracle: bit-exact at every point, **zero silent fallbacks**
+  (``native_groups == num_groups`` is a hard assert on every numpy
+  point, both batches), and sequential NumPy ≥ 3× sequential Python at
+  full size (row-gated like the 5× gate above).
 
 Writes ``BENCH_parallel.json`` (repo root by default) — the spine of the
 performance trajectory: grid timings, speedups, environment.
@@ -114,6 +122,30 @@ def scaling_batch() -> QueryBatch:
     )
 
 
+def carried_batch() -> QueryBatch:
+    """A carried-heavy batch: every keyed group-by spans Fact and Dim.
+
+    Grouping by a Fact attribute together with ``w`` (Dim-only) makes the
+    incoming Dim view's group-by include a non-local attribute, so the
+    root plan iterates carried entry lists — the workload class that used
+    to fall back to the Python backend wholesale.
+    """
+    return QueryBatch(
+        [
+            Query("c_by_gw", group_by=("g", "w"), aggregates=(
+                Aggregate((Factor("x", identity),)),
+                Aggregate.count(),
+            )),
+            Query("c_by_hw", group_by=("h", "w"), aggregates=(
+                Aggregate((Factor("x", identity), Factor("y", identity))),
+            )),
+            Query("c_by_gw_sq", group_by=("g", "w"), aggregates=(
+                Aggregate((Factor("x", square),)),
+            )),
+        ]
+    )
+
+
 def _time_execute(engine: LMFAO, compiled, repeats: int) -> tuple[float, dict]:
     """Best-of-N wall-clock of execute() on a warmed engine, plus results."""
     run = engine.execute(compiled)  # warm-up: tries, partitions, registers
@@ -152,6 +184,17 @@ def run_grid(rows: int, repeats: int) -> dict:
                 )
                 engine = LMFAO(db, config)
                 compiled = engine.compile(batch)
+                if backend == "numpy":
+                    # correctness gate, independent of LMFAO_BENCH_STRICT:
+                    # the numpy leg must run every group natively — a
+                    # silent per-group Python fallback would fake timings
+                    assert (
+                        compiled.native_group_count == compiled.num_groups
+                    ), (
+                        f"numpy backend fell back to Python for "
+                        f"{compiled.num_groups - compiled.native_group_count}"
+                        f" group(s)"
+                    )
                 seconds, results = _time_execute(engine, compiled, repeats)
                 bit_exact = results == baseline
                 assert bit_exact, (
@@ -173,6 +216,60 @@ def run_grid(rows: int, repeats: int) -> dict:
                     f"  {backend:>6}  workers={workers}  partitions={partitions}  "
                     f"{seconds * 1e3:8.1f} ms  bit-exact={bit_exact}"
                 )
+
+    # ------------------------------------------------- carried-heavy batch
+    # the NumPy leg across the full workers × partitions grid against the
+    # sequential Python oracle — the workload class that used to fall back
+    cbatch = carried_batch()
+    carried_engine = LMFAO(db, EngineConfig(workers=1, partitions=1))
+    carried_base_seconds, carried_base = _time_execute(
+        carried_engine, carried_engine.compile(cbatch), repeats
+    )
+    print(
+        f"  carried python  workers=1  partitions=1  "
+        f"{carried_base_seconds * 1e3:8.1f} ms  (oracle)"
+    )
+    carried_points = []
+    for workers in _WORKERS:
+        for partitions in _PARTITIONS:
+            config = EngineConfig(
+                backend="numpy",
+                workers=workers,
+                partitions=partitions,
+                parallel_threshold=0,
+            )
+            engine = LMFAO(db, config)
+            compiled = engine.compile(cbatch)
+            assert any(plan.carried_blocks for plan in compiled.plans), (
+                "carried batch compiled without carried blocks — the "
+                "benchmark no longer measures what it claims"
+            )
+            assert compiled.native_group_count == compiled.num_groups, (
+                f"numpy backend fell back to Python for "
+                f"{compiled.num_groups - compiled.native_group_count} "
+                f"carried group(s)"
+            )
+            seconds, results = _time_execute(engine, compiled, repeats)
+            bit_exact = results == carried_base
+            assert bit_exact, (
+                f"carried numpy workers={workers} partitions={partitions} "
+                f"diverged from the sequential Python oracle"
+            )
+            carried_points.append(
+                {
+                    "backend": "numpy",
+                    "workers": workers,
+                    "partitions": partitions,
+                    "seconds": seconds,
+                    "native_groups": compiled.native_group_count,
+                    "num_groups": compiled.num_groups,
+                    "bit_exact_vs_sequential_python": bit_exact,
+                }
+            )
+            print(
+                f"  carried  numpy  workers={workers}  partitions={partitions}  "
+                f"{seconds * 1e3:8.1f} ms  bit-exact={bit_exact}"
+            )
 
     def seconds_at(backend: str, workers: int, partitions: int) -> float | None:
         for p in points:
@@ -198,6 +295,8 @@ def run_grid(rows: int, repeats: int) -> dict:
         },
         "baseline_sequential_python_seconds": baseline_seconds,
         "grid": points,
+        "carried_baseline_sequential_python_seconds": carried_base_seconds,
+        "carried_grid": carried_points,
     }
     c_seq = seconds_at("c", 1, 1)
     c_par = seconds_at("c", 4, 4)
@@ -242,6 +341,35 @@ def run_grid(rows: int, repeats: int) -> dict:
                 f"numpy backend only {speedup:.2f}x over sequential Python "
                 f"on {rows} rows (expected >= 5x)"
             )
+    np_seq_carried = next(
+        (
+            p["seconds"]
+            for p in carried_points
+            if (p["workers"], p["partitions"]) == (1, 1)
+        ),
+        None,
+    )
+    if np_seq_carried is not None:
+        speedup = carried_base_seconds / np_seq_carried
+        report["numpy_over_python_sequential_carried"] = speedup
+        strict = os.environ.get("LMFAO_BENCH_STRICT", "1") != "0"
+        if rows < _NUMPY_ASSERT_MIN_ROWS:
+            report["carried_numpy_speedup_assertion"] = (
+                f"skipped: {rows} rows < {_NUMPY_ASSERT_MIN_ROWS} (smoke run)"
+            )
+        elif speedup < 3.0 and not strict:
+            report["carried_numpy_speedup_assertion"] = (
+                f"FAILED (non-strict): {speedup:.2f}x"
+            )
+            print(
+                f"WARNING: carried numpy sequential speedup {speedup:.2f}x "
+                f"< 3x (non-strict mode)"
+            )
+        else:
+            assert speedup >= 3.0, (
+                f"numpy backend only {speedup:.2f}x over sequential Python "
+                f"on the carried-heavy batch at {rows} rows (expected >= 3x)"
+            )
     return report
 
 
@@ -263,6 +391,9 @@ def main(argv: list[str] | None = None) -> int:
     speedup = report.get("numpy_over_python_sequential")
     if speedup is not None:
         print(f"numpy vs sequential python: {speedup:.2f}x")
+    speedup = report.get("numpy_over_python_sequential_carried")
+    if speedup is not None:
+        print(f"numpy vs sequential python (carried batch): {speedup:.2f}x")
     speedup = report.get("c_speedup_4x4_vs_sequential_c")
     if speedup is not None:
         print(f"C 4x4 vs sequential C: {speedup:.2f}x")

@@ -218,18 +218,14 @@ def _generate_source(plan: MultiOutputPlan, share_terms: bool) -> str:
             for slot in emission.slots:
                 emissions_at.setdefault(slot.level, [])
             emissions_at.setdefault(host, [])
-    # For unaligned emissions we emit per (level, key) slot groups:
+    # For unaligned emissions we emit per (level, key) slot groups; the
+    # grouping is shared with the NumPy lowering (Emission.slot_groups).
     slot_groups_at: dict[int, list[tuple[Emission, tuple[EmissionSlot, ...]]]] = {}
     for emission in plan.emissions:
         if emission.aligned or _is_scalar(emission):
             continue
-        groups: dict[tuple, list[EmissionSlot]] = {}
-        for slot in emission.slots:
-            groups.setdefault(
-                (slot.level, slot.key_parts, slot.key_blocks, slot.support), []
-            ).append(slot)
-        for (level, _parts, _blocks, _support), slots in groups.items():
-            slot_groups_at.setdefault(level, []).append((emission, tuple(slots)))
+        for (level, _parts, _blocks, _support), slots in emission.slot_groups():
+            slot_groups_at.setdefault(level, []).append((emission, slots))
 
     def emit_term_vars(level: int) -> None:
         for var, expr in hoisted_terms_at.get(level, ()):  # stable order

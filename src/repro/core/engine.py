@@ -112,10 +112,11 @@ class EngineConfig:
     ``backend``
         ``"python"`` (specialised Python over the trie runtime),
         ``"numpy"`` (whole-level array programs over the same trie —
-        segment-reduction sums, vectorized probes; per-group fallback to
-        Python when a plan uses carried blocks), or ``"c"`` (generated C
-        compiled with gcc, per-group fallback to Python when a plan uses
-        carried blocks or non-integer keys). The C backend's ctypes calls
+        segment-reduction sums, vectorized probes, CSR entry-list
+        expansion for carried views; every plan shape runs natively, no
+        fallback class), or ``"c"`` (generated C compiled with gcc,
+        per-group fallback to Python when a plan uses carried blocks or
+        non-integer keys). The C backend's ctypes calls
         release the GIL and the generated functions are reentrant, so
         ``workers > 1`` gives real multicore scaling there; NumPy releases
         the GIL inside large kernels (partial scaling, no gcc needed); the
@@ -406,7 +407,9 @@ class LMFAO:
             if root == "auto":
                 root = max(self.tree.nodes, key=self.db.cardinality)
             if root not in self.tree.nodes:
-                raise PlanError(f"single_root {root!r} is not a join-tree node")
+                raise PlanError(
+                    f"EngineConfig.single_root {root!r} is not a join-tree node"
+                )
             return {query.name: root for query in batch}
         return assign_roots(self.db, self.tree, batch, override=config.root_override)
 
@@ -552,8 +555,8 @@ def _validate_execution_config(config: EngineConfig) -> None:
         )
     if config.backend not in {"python", "numpy", "c"}:
         raise PlanError(
-            f"unknown backend {config.backend!r}; "
-            f"expected 'python', 'numpy' or 'c'"
+            f"EngineConfig.backend must be one of 'python', 'numpy', 'c', "
+            f"got {config.backend!r}"
         )
 
 

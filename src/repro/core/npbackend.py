@@ -17,6 +17,16 @@ construct for *all* runs of a level at once:
   codes the bound level's key columns the same way and searches the sorted
   composites. Semi-join misses become a per-level **alive mask**, composed
   down the trie exactly like the generated ``continue`` cascades;
+* **carried views** — incoming views whose group-by includes non-local
+  attributes are flattened to **CSR entry lists** per local key
+  (:class:`_CarriedTable`): entries stably sorted by their local-key
+  composite code, ``entry_offsets`` bounding each key's contiguous
+  segment in the flattened carried columns and aggregate matrix. A probe
+  at the block's bind level yields a per-run key row (hence an entry
+  segment) plus the semi-join found mask;
+* **sub-sums** — ``SubSumTerm`` (Σ over a carried view's entries) is one
+  ``np.add.reduceat`` over the entry segments per table, computed once at
+  marshalling time and indexed per probed run;
 * **γ prefix products** — per-level ``values``-array multiplies, broadcast
   down via ancestor maps in the same operand order as the generated code;
 * **β running sums** — ``np.add.reduceat`` segment sums over the composed
@@ -25,28 +35,34 @@ construct for *all* runs of a level at once:
 * **emissions** — aligned emissions materialise as masked
   ``(key columns, value matrix)`` pairs; hash emissions group runs by
   composite key codes and accumulate with ``np.bincount`` (which adds
-  weights in input order — trie order, like the interpreted loop); both
-  are converted to the engine's dict format at the boundary via
+  weights in input order — trie order, like the interpreted loop);
+  **carried-keyed** emissions first expand surviving runs by their entry
+  counts per keyed block (``np.repeat`` cross product, the vectorized
+  form of the generated nested entry loops), gather key columns from trie
+  levels and the flattened carried columns, then reuse the same grouping
+  + ``bincount`` machinery. Aligned/hash outputs are converted to the
+  engine's dict format at the boundary via
   :class:`~repro.core.runtime.ArrayViewData`, which keeps the columnar
   arrays alive for downstream NumPy consumers and the partition merge.
 
-**Supported plans.** Like the C backend, support is per plan with
-fallback to the Python backend: plans with **carried blocks** (incoming
-views whose group-by includes non-local attributes) are not lowered —
-their entry-list iteration is inherently per-prefix. Everything else is,
-including float trie levels and float view keys (which the C backend
-rejects).
+**Supported plans.** Every plan the decomposition layer can produce is
+lowered — including carried blocks, float trie levels and float view keys
+(both of which the C backend rejects). :func:`supports_plan` only retains
+a defensive structural check, so with ``backend="numpy"`` the engine runs
+whole batches natively with no per-group fallback class left.
 
 **Bit-exactness contract vs the Python backend.** Operand order of every
 product and the per-key accumulation order of every hash emission match
-the generated Python statement for statement, and on integer-valued data
-(where float64 arithmetic is exact) results are bit-identical — the
-property grid in ``tests/core/test_parallel_properties.py`` asserts dict
-equality. On non-integral float data, segment sums may reassociate
-(``np.add.reduceat`` uses blocked summation), so results agree only up to
-the usual ~1 ulp reduction drift; scalar conversion at the boundary means
-pure-count aggregates are exact up to 2**53 rather than arbitrary
-precision.
+the generated Python statement for statement — carried expansions
+enumerate (run, entry…) pairs in trie × entry-list order, exactly like
+the generated nested loops — and on integer-valued data (where float64
+arithmetic is exact) results are bit-identical — the property grid in
+``tests/core/test_parallel_properties.py`` asserts dict equality,
+carried plans included. On non-integral float data, segment sums may
+reassociate (``np.add.reduceat`` uses blocked summation), so results
+agree only up to the usual ~1 ulp reduction drift; scalar conversion at
+the boundary means pure-count aggregates are exact up to 2**53 rather
+than arbitrary precision.
 
 **Concurrency.** Execution touches only per-call state plus read-only
 inputs (trie arrays, prepared binding tables), so the engine's
@@ -68,11 +84,17 @@ from repro.core.plan import (
     FactorTerm,
     MultiOutputPlan,
     RowSumTerm,
+    SubSumTerm,
     Term,
     ViewBinding,
     ViewTerm,
 )
-from repro.core.runtime import ArrayViewData, _product_column, _product_signature
+from repro.core.runtime import (
+    ArrayViewData,
+    _product_column,
+    _product_signature,
+    debug_checks_enabled,
+)
 from repro.data.trie import TrieIndex
 from repro.query.functions import Function
 from repro.util.errors import PlanError
@@ -83,18 +105,14 @@ _CODE_LIMIT = 2**62
 
 
 def supports_plan(plan: MultiOutputPlan) -> bool:
-    """Whether the NumPy backend can execute ``plan``.
+    """Whether the NumPy backend can execute ``plan`` — effectively always.
 
-    Carried blocks iterate per-key entry lists inside the loop nest —
-    inherently per-prefix work — so such plans stay on the Python backend
-    (the engine falls back per group, like the C backend's
-    :func:`repro.core.cbackend.supports_plan`). Unlike C, float-valued
-    trie levels and view keys are fine: probes only need sortable columns.
+    Carried blocks are lowered since the CSR entry-list expansion landed,
+    so no structural plan feature forces the Python backend any more.
+    What remains is one defensive check: a binding with an empty key
+    would bind at level -1, which the generated backends never emit
+    probes for either (and the planning layer never produces).
     """
-    if plan.carried_blocks:
-        return False
-    # Defensive: a binding with an empty key would bind at level -1, which
-    # the generated backends never emit probes for either.
     return all(binding.bind_level >= 0 for binding in plan.bindings)
 
 
@@ -121,24 +139,53 @@ def _composite(codes: list[np.ndarray], bases: list[int], as_object: bool) -> np
     return comp
 
 
-class _BindingTable:
-    """One incoming view marshalled for vectorized probing.
+def _view_arrays(
+    group_by: tuple[str, ...], width: int, data: dict
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """One incoming view as parallel key columns + float64 values matrix.
 
-    Key columns are selected in the consumer binding's key order, coded
-    per column against their sorted uniques, combined into composite codes
-    and sorted once; a probe is then two ``np.searchsorted`` passes. The
-    table is read-only after construction and shared across partitions.
+    Columns come back in the producer's canonical group-by order; row
+    order is the producer's dict order (the order the interpreted entry
+    lists iterate). ``ArrayViewData`` inputs with live columnar state
+    skip the dict-to-array conversion entirely.
+    """
+    if isinstance(data, ArrayViewData) and data.has_columns:
+        if debug_checks_enabled():
+            data.check_consistent()
+        return (
+            [np.asarray(column) for column in data.key_columns],
+            np.asarray(data.value_matrix, dtype=np.float64),
+        )
+    m = len(data)
+    if m == 0:
+        empty = [np.empty(0, dtype=np.int64) for _ in group_by]
+        return empty, np.zeros((0, width), dtype=np.float64)
+    keys = np.asarray(list(data.keys())).reshape(m, len(group_by))
+    values = np.asarray(list(data.values()), dtype=np.float64).reshape(m, width)
+    return (
+        [np.ascontiguousarray(keys[:, p]) for p in range(len(group_by))],
+        values,
+    )
+
+
+class _ProbeTable:
+    """Key coding shared by the scalar and carried binding tables.
+
+    Entry key columns are coded per column against their sorted uniques
+    and combined into mixed-radix composite codes; a probe codes the
+    bound trie level's columns the same way (values absent from the
+    producer take the reserved top code, keeping composites
+    collision-free) so a lookup is two ``np.searchsorted`` passes.
     """
 
-    def __init__(self, binding: ViewBinding, group_by: tuple[str, ...], data: dict):
-        self.width = binding.num_aggregates
-        positions = [group_by.index(attr) for attr in binding.key]
-        columns, values = self._columns(binding, group_by, positions, data)
-        self.m = len(values)
-        self.values = values
+    part_uniques: list[np.ndarray]
+    bases: list[int]
+    as_object: bool
+
+    def _build_codes(self, columns: list[np.ndarray]) -> np.ndarray:
         self.part_uniques = [np.unique(column) for column in columns]
         # base = len(uniques) + 1 reserves the top code for "not a producer
-        # value" on the probe side, keeping composites collision-free.
+        # value" on the probe side.
         self.bases = [len(uniques) + 1 for uniques in self.part_uniques]
         span = 1
         for base in self.bases:
@@ -148,27 +195,48 @@ class _BindingTable:
             np.searchsorted(uniques, column)
             for uniques, column in zip(self.part_uniques, columns)
         ]
-        comp = _composite(codes, self.bases, self.as_object) if codes else None
-        if comp is None:  # cannot happen: bindings always have ≥ 1 key attr
-            comp = np.zeros(self.m, dtype=np.int64)
+        if not codes:  # cannot happen: bindings always have ≥ 1 key attr
+            return np.zeros(0, dtype=np.int64)
+        return _composite(codes, self.bases, self.as_object)
+
+    def _probe_codes(
+        self, probe_columns: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Composite code + per-run validity for the probing level columns.
+
+        Only called with ≥ 1 producer entry, so every ``uniques`` array is
+        non-empty.
+        """
+        n = len(probe_columns[0])
+        found = np.ones(n, dtype=bool)
+        codes = []
+        for uniques, column in zip(self.part_uniques, probe_columns):
+            pos = np.searchsorted(uniques, column)
+            clipped = np.minimum(pos, len(uniques) - 1)
+            valid = uniques[clipped] == column
+            found &= valid
+            codes.append(np.where(valid, clipped, len(uniques)))
+        return _composite(codes, self.bases, self.as_object), found
+
+
+class _BindingTable(_ProbeTable):
+    """One scalar (non-carried) incoming view marshalled for probing.
+
+    Key columns are selected in the consumer binding's key order, coded,
+    combined and sorted once; a probe is then two ``np.searchsorted``
+    passes. The table is read-only after construction and shared across
+    partitions.
+    """
+
+    def __init__(self, binding: ViewBinding, group_by: tuple[str, ...], data: dict):
+        self.width = binding.num_aggregates
+        columns, values = _view_arrays(group_by, self.width, data)
+        positions = [group_by.index(attr) for attr in binding.key]
+        self.m = len(values)
+        self.values = values
+        comp = self._build_codes([columns[p] for p in positions])
         self.order = np.argsort(comp, kind="stable")
         self.sorted_comp = comp[self.order]
-
-    @staticmethod
-    def _columns(binding, group_by, positions, data):
-        width = binding.num_aggregates
-        if isinstance(data, ArrayViewData) and data.has_columns:
-            return (
-                [data.key_columns[p] for p in positions],
-                np.asarray(data.value_matrix, dtype=np.float64),
-            )
-        m = len(data)
-        if m == 0:
-            empty = [np.empty(0, dtype=np.int64) for _ in positions]
-            return empty, np.zeros((0, width), dtype=np.float64)
-        keys = np.asarray(list(data.keys())).reshape(m, len(group_by))
-        values = np.asarray(list(data.values()), dtype=np.float64).reshape(m, width)
-        return [np.ascontiguousarray(keys[:, p]) for p in positions], values
 
     def probe(self, probe_columns: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized lookup: ``(values matrix, found mask)`` per run.
@@ -182,19 +250,84 @@ class _BindingTable:
                 np.zeros((n, self.width), dtype=np.float64),
                 np.zeros(n, dtype=bool),
             )
-        found = np.ones(n, dtype=bool)
-        codes = []
-        for uniques, column in zip(self.part_uniques, probe_columns):
-            pos = np.searchsorted(uniques, column)
-            clipped = np.minimum(pos, len(uniques) - 1)
-            valid = uniques[clipped] == column
-            found &= valid
-            codes.append(np.where(valid, clipped, len(uniques)))
-        comp = _composite(codes, self.bases, self.as_object)
+        comp, found = self._probe_codes(probe_columns)
         idx = np.minimum(np.searchsorted(self.sorted_comp, comp), self.m - 1)
         found &= self.sorted_comp[idx] == comp
         rows = self.order[np.where(found, idx, 0)]
         return self.values[rows], found
+
+
+class _CarriedTable(_ProbeTable):
+    """One carried incoming view flattened to CSR entry lists.
+
+    Entries (producer rows) are stably sorted by their local-key
+    composite code, giving one contiguous segment per distinct local key:
+    ``entry_offsets[i] : entry_offsets[i + 1]`` bounds key row ``i``'s
+    entries in the flattened ``carried_columns`` (one array per carried
+    attribute, in entry-tuple order) and ``agg_matrix``. Stability keeps
+    entries in producer-dict order within each key — the order the
+    interpreted entry lists iterate, so carried accumulations stay
+    statement-compatible. ``subsums`` holds Σ over each key's entries of
+    every aggregate (one ``np.add.reduceat`` per table), which makes a
+    :class:`~repro.core.plan.SubSumTerm` read a per-run gather.
+    """
+
+    def __init__(self, binding: ViewBinding, group_by: tuple[str, ...], data: dict):
+        self.width = binding.num_aggregates
+        columns, values = _view_arrays(group_by, self.width, data)
+        key_positions = [group_by.index(attr) for attr in binding.key]
+        carried_positions = [group_by.index(attr) for attr in binding.carried]
+        self.m = len(values)
+        comp = self._build_codes([columns[p] for p in key_positions])
+        order = np.argsort(comp, kind="stable")
+        sorted_comp = comp[order]
+        if self.m:
+            is_start = np.ones(self.m, dtype=bool)
+            is_start[1:] = sorted_comp[1:] != sorted_comp[:-1]
+            starts = np.flatnonzero(is_start)
+        else:
+            starts = np.zeros(0, dtype=np.int64)
+        self.num_keys = len(starts)
+        self.key_comp = sorted_comp[starts] if self.m else sorted_comp
+        self.entry_offsets = np.append(starts, self.m).astype(np.int64)
+        self.carried_columns = [columns[p][order] for p in carried_positions]
+        self.agg_matrix = values[order]
+        if self.num_keys:
+            self.subsums = np.add.reduceat(self.agg_matrix, starts, axis=0)
+        else:
+            self.subsums = np.zeros((0, self.width), dtype=np.float64)
+
+    def probe(self, probe_columns: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized fetch: ``(key row, found mask)`` per run.
+
+        ``key row`` indexes the per-key arrays (``entry_offsets`` /
+        ``subsums``); misses yield ``found=False`` with an arbitrary
+        in-bounds row, masked out downstream like scalar probe misses.
+        """
+        n = len(probe_columns[0])
+        if self.num_keys == 0:
+            return np.zeros(n, dtype=np.int64), np.zeros(n, dtype=bool)
+        comp, found = self._probe_codes(probe_columns)
+        idx = np.minimum(np.searchsorted(self.key_comp, comp), self.num_keys - 1)
+        found &= self.key_comp[idx] == comp
+        return np.where(found, idx, 0), found
+
+    def subsum(self, key_row: np.ndarray, found: np.ndarray, agg_index: int):
+        """Σ over the probed key's entries of one aggregate, per run."""
+        if self.num_keys == 0:
+            return np.zeros(len(key_row), dtype=np.float64)
+        return np.where(found, self.subsums[key_row, agg_index], 0.0)
+
+    def entry_ranges(
+        self, key_row: np.ndarray, found: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-run entry segment ``(start, count)``; count 0 where dead."""
+        if self.num_keys == 0:
+            zeros = np.zeros(len(key_row), dtype=np.int64)
+            return zeros, zeros
+        starts = self.entry_offsets[key_row]
+        counts = np.where(found, self.entry_offsets[key_row + 1] - starts, 0)
+        return starts, counts
 
 
 # ---------------------------------------------------------------------------
@@ -263,17 +396,18 @@ class _PlanEvaluation:
     """One execution of a plan over one trie: the staged array program.
 
     Stages run in dependency order — probes (alive masks + probed view
-    matrices), γ products (parents before children: plan order), β segment
-    sums (deepest level first, so chain children precede their parents),
-    then emissions. All per-run intermediates live only for this call;
-    run-geometry arrays are cached on the trie across calls.
+    matrices + carried key rows), γ products (parents before children:
+    plan order), β segment sums (deepest level first, so chain children
+    precede their parents), then emissions. All per-run intermediates
+    live only for this call; run-geometry arrays are cached on the trie
+    across calls.
     """
 
     def __init__(
         self,
         plan: MultiOutputPlan,
         trie: TrieIndex,
-        tables: Mapping[str, _BindingTable],
+        tables: Mapping[str, object],
         functions: Mapping[str, Function],
     ) -> None:
         self.plan = plan
@@ -285,6 +419,10 @@ class _PlanEvaluation:
         self._terms: dict[tuple, object] = {}
         self._alive: list[np.ndarray | None] = [None] * self.num_rel
         self._probed: dict[str, np.ndarray] = {}
+        #: carried block index -> (key_row, found) at the block's bind level
+        self._carried: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: (block, level) -> per-run entry (start, count) at that level
+        self._entry_geo: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
         self._gamma: dict[int, object] = {}
         self._beta: dict[int, object] = {}
         self._gamma_level = {node.id: node.level for node in plan.gammas}
@@ -369,6 +507,11 @@ class _PlanEvaluation:
             )
         elif isinstance(term, ViewTerm):
             got = self._probed[term.view][:, term.agg_index]
+        elif isinstance(term, SubSumTerm):
+            # per-run at the block's bind level (== term.level): the
+            # carried probe already resolved each run to its key row
+            key_row, found = self._carried[term.block]
+            got = self.tables[term.view].subsum(key_row, found, term.agg_index)
         elif isinstance(term, (CountTerm, RowSumTerm)):
             # pure trie functions: cache the materialised run arrays on
             # the index, like the factor arrays and prefix-sum registers
@@ -392,18 +535,19 @@ class _PlanEvaluation:
                         lvl = self.trie.level(term.level)
                         got = psum[lvl.row_end] - psum[lvl.row_start]
                 self.cache[key] = got
-        else:  # SubSumTerm needs carried blocks, which supports_plan rejects
+        else:  # pragma: no cover - exhaustive over the Term union
             raise PlanError(f"numpy backend cannot evaluate term {term!r}")
         self._terms[term.sig] = got
         return got
 
     def _run_probes(self) -> None:
-        """Alive masks and probed view matrices, level by level.
+        """Alive masks, probed view matrices and carried key rows, per level.
 
         The generated code ``continue``s out of a run's whole subtree on a
-        probe miss; here that is the alive mask — local found masks ANDed
-        with the parent level's mask mapped down. ``None`` means all runs
-        alive (no probes at or above the level)."""
+        probe miss — scalar lookup or carried entry-list fetch alike; here
+        that is the alive mask — local found masks ANDed with the parent
+        level's mask mapped down. ``None`` means all runs alive (no probes
+        at or above the level)."""
         at_level: dict[int, list[ViewBinding]] = {}
         for binding in self.plan.bindings:
             at_level.setdefault(binding.bind_level, []).append(binding)
@@ -416,8 +560,12 @@ class _PlanEvaluation:
                     self.full(self.down(self.level_values(j), j, k), k)
                     for j in binding.key_levels
                 ]
-                values, found = self.tables[binding.view].probe(columns)
-                self._probed[binding.view] = values
+                if binding.is_carried:
+                    key_row, found = self.tables[binding.view].probe(columns)
+                    self._carried[binding.block] = (key_row, found)
+                else:
+                    values, found = self.tables[binding.view].probe(columns)
+                    self._probed[binding.view] = values
                 mask = found if mask is None else mask & found
             self._alive[k] = mask
 
@@ -532,7 +680,12 @@ class _PlanEvaluation:
             self.cache[key] = got
         return got
 
-    def _hash_output(self, emission: Emission) -> ArrayViewData:
+    def _hash_output(self, emission: Emission) -> dict:
+        if emission.has_carried_keys:
+            return self._carried_hash_output(emission)
+        return self._plain_hash_output(emission)
+
+    def _plain_hash_output(self, emission: Emission) -> ArrayViewData:
         """Probe-accumulate emissions as a masked group-by over runs.
 
         Every slot of a non-carried emission shares the host level and
@@ -550,7 +703,7 @@ class _PlanEvaluation:
         if any(
             slot.level != k or slot.key_parts != key_parts
             for slot in emission.slots
-        ):  # pragma: no cover - decomposition invariant for non-carried plans
+        ):  # pragma: no cover - decomposition invariant for non-carried slots
             raise PlanError(
                 f"{emission.artifact}: slots disagree on host level/key parts"
             )
@@ -579,6 +732,151 @@ class _PlanEvaluation:
             representative = [column[partial_fired] for column in representative]
             matrix = matrix[partial_fired]
         return ArrayViewData.from_arrays(list(representative), matrix)
+
+    # ------------------------------------------------- carried-keyed emissions
+    def _entry_geometry(
+        self, block: int, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Entry segment ``(start, count)`` per level-k run for one block.
+
+        The probe resolved key rows at the block's bind level; ancestor
+        maps broadcast them down to the (deeper or equal) emission level.
+        Dead runs get count 0, so expansion drops them for free.
+        """
+        got = self._entry_geo.get((block, k))
+        if got is None:
+            binding = self.plan.block_binding(block)
+            key_row, found = self._carried[block]
+            j = binding.bind_level
+            if j < k:
+                anc = self.ancestors(j, k)
+                key_row, found = key_row[anc], found[anc]
+            got = self.tables[binding.view].entry_ranges(key_row, found)
+            self._entry_geo[(block, k)] = got
+        return got
+
+    def _expand_entries(
+        self, k: int, key_blocks: tuple[int, ...], support: int | None
+    ) -> tuple[np.ndarray, dict[int, np.ndarray]]:
+        """Cross-product expansion of surviving runs by keyed-block entries.
+
+        Returns the level-k run index per expanded (run, entry…) pair plus
+        one flattened-entry index array per keyed block. Each block
+        multiplies the pair list by its per-run entry count (``np.repeat``
+        over counts), in block-index order — the vectorized form of the
+        generated nested entry loops, preserving their enumeration order.
+        """
+        mask = self._emission_mask(k, support)
+        if mask is None:
+            sel = np.arange(self.runs(k), dtype=np.int64)
+        else:
+            sel = np.flatnonzero(mask)
+        entry_idx: dict[int, np.ndarray] = {}
+        for block in key_blocks:
+            starts, counts = self._entry_geometry(block, k)
+            c = counts[sel]
+            reps = np.repeat(np.arange(len(sel), dtype=np.int64), c)
+            first = np.cumsum(c) - c
+            within = np.arange(len(reps), dtype=np.int64) - first[reps]
+            entries = starts[sel][reps] + within
+            sel = sel[reps]
+            for prior in entry_idx:
+                entry_idx[prior] = entry_idx[prior][reps]
+            entry_idx[block] = entries
+        return sel, entry_idx
+
+    def _expanded_key_columns(
+        self, key_parts, k: int, sel: np.ndarray, entry_idx: dict[int, np.ndarray]
+    ) -> list[np.ndarray]:
+        columns = []
+        for part in key_parts:
+            if part.kind == "rel":
+                level_column = self.full(
+                    self.down(self.level_values(part.level), part.level, k), k
+                )
+                columns.append(level_column[sel])
+            else:  # 'car': part.level stores the block index
+                table = self.tables[self.plan.block_binding(part.level).view]
+                columns.append(table.carried_columns[part.pos][entry_idx[part.level]])
+        return columns
+
+    def _expanded_slot_value(
+        self,
+        slot: EmissionSlot,
+        k: int,
+        sel: np.ndarray,
+        entry_idx: dict[int, np.ndarray],
+    ) -> np.ndarray:
+        """γ × β × ∏ carried factors per expanded pair, in statement order."""
+        value = None
+        if slot.gamma is not None:
+            gamma = self.full(
+                self.down(self._gamma[slot.gamma], self._gamma_level[slot.gamma], k),
+                k,
+            )
+            value = gamma[sel]
+        if slot.beta is not None:  # defensive: keyed slots decompose γ-only
+            beta = self.full(self._beta[slot.beta], k)
+            value = beta[sel] if value is None else value * beta[sel]
+        for factor in slot.carried_factors:
+            table = self.tables[self.plan.block_binding(factor.block).view]
+            piece = table.agg_matrix[entry_idx[factor.block], factor.agg_index]
+            value = piece if value is None else value * piece
+        if value is None:
+            value = np.ones(len(sel), dtype=np.float64)
+        return value
+
+    def _carried_hash_output(self, emission: Emission) -> dict:
+        """Carried-keyed emissions: expand runs by entries, then group.
+
+        One expansion per slot group — the same ``(level, key parts, key
+        blocks, support)`` partition the code generator nests entry loops
+        for (:meth:`Emission.slot_groups`). Key columns gather from trie
+        levels (``'rel'`` parts, via ancestor maps) and the flattened
+        carried columns (``'car'`` parts, via the expanded entry
+        indices); each slot's per-pair values accumulate with
+        ``np.bincount`` in expansion (= trie × entry-list) order,
+        matching the interpreted nested loops. With a single slot group
+        (every plan the tree planner emits today) the result keeps
+        columnar arrays; heterogeneous groups merge per key into a plain
+        dict — a key exists iff some group's surviving pair emitted under
+        it, exactly like the generated first-touch inserts.
+        """
+        parts = []
+        for (level, key_parts, key_blocks, support), slots in emission.slot_groups():
+            sel, entry_idx = self._expand_entries(level, key_blocks, support)
+            columns = self._expanded_key_columns(key_parts, level, sel, entry_idx)
+            ids, num_keys, first_index = _group_codes(columns)
+            matrix = np.zeros((num_keys, emission.width))
+            for slot in slots:
+                value = self._expanded_slot_value(slot, level, sel, entry_idx)
+                matrix[:, slot.slot] = np.bincount(
+                    ids, weights=value, minlength=num_keys
+                )
+            parts.append(
+                ([column[first_index] for column in columns], slots, matrix)
+            )
+        if len(parts) == 1:
+            columns, _, matrix = parts[0]
+            return ArrayViewData.from_arrays(list(columns), matrix)
+        out: dict = {}
+        for columns, slots, matrix in parts:
+            if not len(matrix):
+                continue
+            if len(columns) == 1:
+                keys = columns[0].tolist()
+            else:
+                keys = list(zip(*(column.tolist() for column in columns)))
+            slot_values = [
+                (slot.slot, matrix[:, slot.slot].tolist()) for slot in slots
+            ]
+            for i, key in enumerate(keys):
+                row = out.get(key)
+                if row is None:
+                    row = out[key] = [0.0] * emission.width
+                for position, values in slot_values:
+                    row[position] += values[i]
+        return out
 
     def outputs(self) -> dict[str, dict]:
         self._run_probes()
@@ -620,19 +918,22 @@ class NumpyCompiledGroup:
         self,
         view_data: Mapping[str, dict],
         view_group_by: Mapping[str, tuple[str, ...]],
-    ) -> dict[str, _BindingTable]:
+    ) -> dict[str, object]:
         """Marshal every incoming view into a probe table, once per group.
 
-        Tables are read-only and shared across concurrent per-partition
-        executions. ``ArrayViewData`` inputs (produced by upstream NumPy
-        groups) skip the dict-to-array conversion entirely.
+        Scalar views become sorted key-code tables, carried views CSR
+        entry-list tables. Tables are read-only and shared across
+        concurrent per-partition executions. ``ArrayViewData`` inputs
+        (produced by upstream NumPy groups) skip the dict-to-array
+        conversion entirely.
         """
-        tables: dict[str, _BindingTable] = {}
+        tables: dict[str, object] = {}
         for binding in self.plan.bindings:
             data = view_data.get(binding.view)
             if data is None:
                 raise PlanError(f"missing incoming view data for {binding.view}")
-            tables[binding.view] = _BindingTable(
+            table_cls = _CarriedTable if binding.is_carried else _BindingTable
+            tables[binding.view] = table_cls(
                 binding, view_group_by[binding.view], data
             )
         return tables

@@ -230,6 +230,11 @@ class EmissionSlot:
     support: int | None = None
 
 
+#: the host signature of one emission slot group — the fields that decide
+#: which loop body (and, for carried keys, which nested entry loops) emit it.
+SlotGroupKey = tuple[int, tuple[KeyPart, ...], tuple[int, ...], "int | None"]
+
+
 @dataclass(frozen=True)
 class Emission:
     """All slots of one artifact plus its output container description.
@@ -246,6 +251,27 @@ class Emission:
     group_by: tuple[str, ...]
     slots: tuple[EmissionSlot, ...]
     aligned: bool
+
+    def slot_groups(self) -> list[tuple[SlotGroupKey, tuple[EmissionSlot, ...]]]:
+        """Slots grouped by host ``(level, key parts, key blocks, support)``.
+
+        The code generator emits one probe-accumulate statement group per
+        entry (with nested entry loops for the keyed carried blocks) and
+        the NumPy backend lowers one run-by-entry expansion per entry;
+        the backends must partition slots identically for their outputs
+        to agree, so the partition is defined once, here. Group order is
+        first-slot order — the order the generated statements execute in.
+        """
+        groups: dict[SlotGroupKey, list[EmissionSlot]] = {}
+        for slot in self.slots:
+            key = (slot.level, slot.key_parts, slot.key_blocks, slot.support)
+            groups.setdefault(key, []).append(slot)
+        return [(key, tuple(slots)) for key, slots in groups.items()]
+
+    @property
+    def has_carried_keys(self) -> bool:
+        """Whether any slot's key iterates carried-block entries."""
+        return any(slot.key_blocks for slot in self.slots)
 
 
 # ------------------------------------------------------------------- bindings
@@ -304,6 +330,18 @@ class MultiOutputPlan:
             if b.view == view:
                 return b
         raise KeyError(view)
+
+    def block_binding(self, block: int) -> ViewBinding:
+        """The carried binding behind carried-block index ``block``.
+
+        Emission key parts of kind ``'car'`` and :class:`CarriedFactor`
+        terms reference blocks by index; executors resolve them to the
+        binding (and through it the marshalled entry lists) with this.
+        """
+        for b in self.bindings:
+            if b.block == block:
+                return b
+        raise KeyError(block)
 
     # ------------------------------------------------ partition-aware introspection
     @property

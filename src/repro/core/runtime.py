@@ -23,6 +23,7 @@ for accumulating emissions, disjoint concatenation for aligned ones.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -36,6 +37,17 @@ from repro.util.errors import PlanError
 ViewData = dict
 
 
+def debug_checks_enabled() -> bool:
+    """Whether ``LMFAO_DEBUG`` asks for (expensive) invariant assertions.
+
+    Consumers of columnar view state call
+    :meth:`ArrayViewData.check_consistent` under this flag before trusting
+    the arrays, so a dict/array desync fails loudly at the point of use
+    instead of silently corrupting downstream aggregates.
+    """
+    return bool(os.environ.get("LMFAO_DEBUG"))
+
+
 class ArrayViewData(dict):
     """View contents ``key → [aggregates]`` plus optional columnar arrays.
 
@@ -46,14 +58,21 @@ class ArrayViewData(dict):
     partition merge — skip per-entry dict iteration. ``key_columns`` are in
     the producer's canonical group-by order.
 
-    Mutating the dict contents in place desynchronises the arrays; call
-    :meth:`drop_columnar` first (the incremental maintainer does, before a
-    numeric delta merge).
+    Every mutating dict operation (``__setitem__``, ``update``, ``pop``,
+    …) **auto-drops** the columnar arrays, so merge paths that grow or
+    rewrite entries can never serve stale arrays to a columnar consumer.
+    The one mutation the class cannot see is writing *through* a stored
+    aggregate list (``data[key][slot] += x``); paths that do that — the
+    incremental maintainer's numeric merge — must call
+    :meth:`drop_columnar` themselves, and :meth:`check_consistent` (run
+    by consumers under ``LMFAO_DEBUG``) catches any path that forgot.
     """
 
     __slots__ = ("key_columns", "value_matrix")
 
     def __init__(self, *args, **kwargs) -> None:
+        # dict.__init__ bulk-inserts without dispatching to __setitem__,
+        # so construction does not count as a (drop-triggering) mutation.
         super().__init__(*args, **kwargs)
         self.key_columns: list[np.ndarray] | None = None
         self.value_matrix: np.ndarray | None = None
@@ -66,6 +85,60 @@ class ArrayViewData(dict):
         """Forget the columnar arrays (keep the dict contents)."""
         self.key_columns = None
         self.value_matrix = None
+
+    # -- mutating dict operations invalidate the columnar mirror ------------
+    def __setitem__(self, key, value) -> None:
+        self.drop_columnar()
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key) -> None:
+        self.drop_columnar()
+        super().__delitem__(key)
+
+    def update(self, *args, **kwargs) -> None:
+        self.drop_columnar()
+        super().update(*args, **kwargs)
+
+    def __ior__(self, other):
+        # dict.__ior__ bulk-inserts at the C level without dispatching to
+        # update/__setitem__, so it needs its own interception.
+        self.drop_columnar()
+        return super().__ior__(other)
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self.drop_columnar()
+        return super().setdefault(key, default)
+
+    def pop(self, *args):
+        self.drop_columnar()
+        return super().pop(*args)
+
+    def popitem(self):
+        self.drop_columnar()
+        return super().popitem()
+
+    def clear(self) -> None:
+        self.drop_columnar()
+        super().clear()
+
+    def check_consistent(self) -> None:
+        """Assert the columnar arrays mirror the dict contents exactly.
+
+        No-op without columns. O(n) — called by columnar consumers under
+        ``LMFAO_DEBUG`` (see :func:`debug_checks_enabled`) and by tests.
+        """
+        if not self.has_columns:
+            return
+        if len(self.key_columns) == 1:
+            keys = self.key_columns[0].tolist()
+        else:
+            keys = list(zip(*(column.tolist() for column in self.key_columns)))
+        mirror = dict(zip(keys, np.asarray(self.value_matrix).tolist()))
+        assert mirror == dict(self), (
+            "ArrayViewData columnar state desynchronised from dict contents "
+            "(a mutation bypassed drop_columnar)"
+        )
 
     @classmethod
     def from_arrays(
@@ -320,9 +393,17 @@ def merge_partial_outputs(
 
     Partition order is fixed (level-0 run order), which makes the merged
     result deterministic — independent of worker count and scheduling.
+
+    The merge never mutates its inputs: accumulating emissions copy the
+    first-seen value list per key before summing into it, and aligned
+    merges build a fresh container. If a partial is an
+    :class:`ArrayViewData`, any future mutating path through dict methods
+    would auto-drop its columnar state; under ``LMFAO_DEBUG`` the
+    columnar partials are additionally asserted consistent before use.
     """
     if len(partial) == 1:
         return partial[0]
+    debug = debug_checks_enabled()
     merged: dict[str, dict] = {}
     for emission in plan.emissions:
         name = emission.artifact
@@ -331,6 +412,9 @@ def merge_partial_outputs(
             if all(
                 isinstance(p, ArrayViewData) and p.has_columns for p in pieces
             ):
+                if debug:
+                    for piece in pieces:
+                        piece.check_consistent()
                 num_parts = len(pieces[0].key_columns)
                 out: dict = ArrayViewData.from_arrays(
                     [
@@ -346,7 +430,10 @@ def merge_partial_outputs(
         else:
             out = {}
             for outputs in partial:
-                for key, values in outputs[name].items():
+                source = outputs[name]
+                if debug and isinstance(source, ArrayViewData):
+                    source.check_consistent()
+                for key, values in source.items():
                     current = out.get(key)
                     if current is None:
                         out[key] = list(values)

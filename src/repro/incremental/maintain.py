@@ -39,7 +39,9 @@ from dataclasses import dataclass
 
 from repro.core.engine import CompiledBatch, LMFAO, RunResult, _to_query_result
 from repro.core.runtime import (
+    ArrayViewData,
     apply_predicates,
+    debug_checks_enabled,
     execute_plan_partitioned,
     local_predicates,
     node_trie,
@@ -84,8 +86,9 @@ class MaintainedBatch:
     def __init__(self, engine: LMFAO, compiled: CompiledBatch) -> None:
         if engine.config.incremental_mode not in _MODES:
             raise PlanError(
-                f"unknown incremental_mode {engine.config.incremental_mode!r}; "
-                f"expected one of {_MODES}"
+                f"EngineConfig.incremental_mode must be one of "
+                f"{', '.join(repr(m) for m in _MODES)}, "
+                f"got {engine.config.incremental_mode!r}"
             )
         self.compiled = compiled
         self.config = engine.config
@@ -104,6 +107,7 @@ class MaintainedBatch:
         for index in compiled.execution_order:
             self._store_outputs(index, self._run_full(index), None)
         self._refresh_results(set(q.name for q in compiled.batch))
+        self._debug_check_stores()
 
     # ---------------------------------------------------------------- accessors
     @property
@@ -198,6 +202,7 @@ class MaintainedBatch:
                 )
             self._refresh_results(dirty_queries)
         self.applies += 1
+        self._debug_check_stores()
         return ApplyResult(
             results=self._results,
             refreshed_queries=tuple(sorted(dirty_queries)),
@@ -283,14 +288,9 @@ class MaintainedBatch:
             store = self._view_data if is_view else self._query_raw
             name = emission.artifact
             if merge is not None:
-                target = store[name]
-                # A NumPy-backend view carries columnar arrays mirroring
-                # its dict contents; the in-place numeric merge below would
-                # silently desynchronise them, so drop them first.
-                drop = getattr(target, "drop_columnar", None)
-                if drop is not None:
-                    drop()
-                artifact_changed = merge(target, outputs[name])
+                # columnar invalidation lives inside the merge helper —
+                # the one place that mutates stored aggregate lists.
+                artifact_changed = merge(store[name], outputs[name])
             else:
                 old = store.get(name)
                 new = outputs[name]
@@ -312,7 +312,18 @@ class MaintainedBatch:
 
         A new key is a change even with all-zero values: the inserted rows
         give it join support, so a from-scratch run would emit it too.
+
+        The per-key ``+=`` below writes *through* stored aggregate lists,
+        which dict-method interception cannot see — so a NumPy-backend
+        ``target`` (an :class:`ArrayViewData` mirroring its contents in
+        columnar arrays) must be invalidated here, where the mutation
+        happens, not by each caller remembering to. The ``delta`` side is
+        never mutated (first-seen value lists are copied), so a columnar
+        delta source stays internally consistent; ``LMFAO_DEBUG`` asserts
+        both facts after the merge.
         """
+        if isinstance(target, ArrayViewData):
+            target.drop_columnar()
         changed = False
         for key, values in delta.items():
             current = target.get(key)
@@ -324,7 +335,24 @@ class MaintainedBatch:
                 if value != 0.0:
                     current[slot] += value
                     changed = True
+        if debug_checks_enabled() and isinstance(delta, ArrayViewData):
+            delta.check_consistent()  # the merge must leave sources unscathed
         return changed
+
+    def _debug_check_stores(self) -> None:
+        """Under ``LMFAO_DEBUG``: no maintained dict may carry stale arrays.
+
+        Walks every stored view and raw query output after a round and
+        asserts columnar state (if any) still mirrors the dict contents —
+        the incremental path's end-to-end guard against a mutation that
+        slipped past :meth:`_merge_delta_outputs`'s invalidation.
+        """
+        if not debug_checks_enabled():
+            return
+        for store in (self._view_data, self._query_raw):
+            for data in store.values():
+                if isinstance(data, ArrayViewData):
+                    data.check_consistent()
 
     def _refresh_results(self, query_names: set[str]) -> None:
         for query in self.compiled.batch:

@@ -136,18 +136,26 @@ def test_failing_prepare_propagates_from_parallel_scheduler(favorita_db, monkeyp
 @pytest.mark.parametrize(
     "field, value, fragment",
     [
-        ("workers", 0, "workers must be an integer >= 1"),
-        ("workers", -3, "workers must be an integer >= 1"),
-        ("partitions", 0, "partitions must be an integer >= 1"),
-        ("partitions", -1, "partitions must be an integer >= 1"),
-        ("parallel_threshold", -5, "parallel_threshold must be an integer >= 0"),
+        ("workers", 0, "EngineConfig.workers must be an integer >= 1"),
+        ("workers", -3, "EngineConfig.workers must be an integer >= 1"),
+        ("partitions", 0, "EngineConfig.partitions must be an integer >= 1"),
+        ("partitions", -1, "EngineConfig.partitions must be an integer >= 1"),
+        (
+            "parallel_threshold",
+            -5,
+            "EngineConfig.parallel_threshold must be an integer >= 0",
+        ),
+        ("backend", "rust", "EngineConfig.backend must be one of"),
+        ("backend", None, "EngineConfig.backend must be one of"),
     ],
 )
 def test_execution_config_validation(favorita_db, field, value, fragment):
+    """Every validation error names the offending config key and value."""
     from repro.util.errors import PlanError
 
-    with pytest.raises(PlanError, match=fragment):
+    with pytest.raises(PlanError, match=fragment) as exc:
         LMFAO(favorita_db, EngineConfig(**{field: value}))
+    assert repr(value) in str(exc.value)
 
 
 def test_single_root_ablation_matches(favorita_db, favorita_join):
@@ -175,7 +183,7 @@ def test_single_root_unknown_raises(favorita_db):
     engine = LMFAO(
         favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE, single_root="Nope")
     )
-    with pytest.raises(PlanError):
+    with pytest.raises(PlanError, match=r"EngineConfig\.single_root 'Nope'"):
         engine.compile(example_queries())
 
 

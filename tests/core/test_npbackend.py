@@ -72,6 +72,11 @@ def _integer_batch():
             Query("by_w", group_by=("w",), aggregates=(
                 Aggregate((Factor("x", identity),)),
             )),
+            # cross-node group-by: the Dim view carries w into Fact's plan,
+            # so every test running this batch exercises a carried block
+            Query("by_gw", group_by=("g", "w"), aggregates=(
+                Aggregate((Factor("x", identity),)), Aggregate.count(),
+            )),
             Query("filtered", group_by=("g",), aggregates=(
                 Aggregate.count(),
             ), where=(Predicate("h", Op.EQ, 1),)),
@@ -89,18 +94,41 @@ def test_paper_example_fully_vectorized(favorita_db):
     assert run.compiled.native_group_count == run.compiled.num_groups
 
 
-def test_carried_blocks_fall_back_to_python(favorita_db):
-    """Two-categorical covariance queries carry attributes across nodes."""
+def test_carried_blocks_run_natively(favorita_db):
+    """Two-categorical covariance queries carry attributes across nodes.
+
+    These were the last whole-group fallback class; since the CSR
+    entry-list lowering they run vectorized end-to-end, bit-compatible
+    with the interpreted oracle.
+    """
     from repro.ml import covariance_batch
     from repro.ml.features import favorita_features
 
     batch = covariance_batch(favorita_features(favorita_db))
     run = _compare_backends(favorita_db, batch, join_tree_edges=FAVORITA_TREE)
-    assert 0 < run.compiled.native_group_count < run.compiled.num_groups
+    assert run.compiled.native_group_count == run.compiled.num_groups
     carried = [p for p in run.compiled.plans if p.carried_blocks]
-    assert carried and not any(supports_plan(p) for p in carried)
-    with pytest.raises(PlanError):
-        NumpyCompiledGroup(carried[0])
+    assert carried and all(supports_plan(p) for p in carried)
+    NumpyCompiledGroup(carried[0])  # constructs without PlanError
+
+
+def test_supports_plan_accepts_figure3_style_carried_plans(favorita_db):
+    """Cross-node group-bys over the paper schema decompose into plans
+    with carried blocks — previously rejected, now first-class."""
+    batch = QueryBatch(
+        [
+            Query("stores_by_class", group_by=("store", "class"), aggregates=(
+                Aggregate.sum("units"), Aggregate.count(),
+            )),
+        ]
+    )
+    engine = LMFAO(
+        favorita_db, EngineConfig(backend="numpy", join_tree_edges=FAVORITA_TREE)
+    )
+    compiled = engine.compile(batch)
+    assert any(plan.carried_blocks for plan in compiled.plans)
+    assert all(supports_plan(plan) for plan in compiled.plans)
+    assert compiled.native_group_count == compiled.num_groups
 
 
 def test_float_keys_run_natively(retailer_db):
@@ -169,6 +197,175 @@ def test_empty_relation():
     batch = _integer_batch()
     base = LMFAO(db, EngineConfig(backend="python")).run(batch)
     run = LMFAO(db, EngineConfig(backend="numpy")).run(batch)
+    for name in base.results:
+        assert run.results[name].groups == base.results[name].groups, name
+
+
+# ------------------------------------------------- carried-block edge cases
+
+
+def _carried_star(fact_keys, dim_keys, dim_rows_per_key=1, n=500, seed=3):
+    """A 2-node star whose cross-node batch always has a carried block.
+
+    ``fact_keys``/``dim_keys`` control the semi-join overlap; duplicated
+    dim keys control the carried entry-segment lengths.
+    """
+    rng = np.random.default_rng(seed)
+    fact = Relation(
+        RelationSchema("Fact", (_C("k"), _C("g"), _F("x"))),
+        {
+            "k": rng.choice(fact_keys, n) if len(fact_keys) else np.empty(0),
+            "g": rng.integers(0, 5, n),
+            "x": rng.integers(-3, 8, n).astype(float),
+        } if len(fact_keys) else {"k": [], "g": [], "x": []},
+    )
+    dim_k = np.repeat(np.asarray(dim_keys, dtype=np.int64), dim_rows_per_key)
+    dim = Relation(
+        RelationSchema("Dim", (_C("k"), _C("w"), _F("z"))),
+        {
+            "k": dim_k,
+            "w": rng.integers(0, 4, len(dim_k)),
+            "z": rng.integers(1, 5, len(dim_k)).astype(float),
+        },
+    )
+    return Database([fact, dim])
+
+
+def _carried_batch():
+    """Cross-node group-bys: every keyed plan probes a carried view."""
+    return QueryBatch(
+        [
+            Query("by_gw", group_by=("g", "w"), aggregates=(
+                Aggregate((Factor("x", identity),)), Aggregate.count(),
+            )),
+            Query("by_gw_z", group_by=("g", "w"), aggregates=(
+                Aggregate((Factor("x", identity), Factor("z", identity))),
+            )),
+            Query("total", aggregates=(Aggregate((Factor("x", identity),)),)),
+        ]
+    )
+
+
+def _assert_carried_native(db, batch, **config):
+    run = _compare_backends(db, batch, **config)
+    assert any(p.carried_blocks for p in run.compiled.plans)
+    assert run.compiled.native_group_count == run.compiled.num_groups
+    return run
+
+
+def test_carried_empty_view():
+    """A carried view with zero entries: every probe misses, no crash."""
+    _assert_carried_native(
+        _carried_star(fact_keys=np.arange(10), dim_keys=[]), _carried_batch()
+    )
+
+
+def test_carried_all_probe_misses():
+    """Disjoint join keys: the alive mask dies at the bind level for every
+    run, so carried expansions see only zero-count segments."""
+    run = _assert_carried_native(
+        _carried_star(fact_keys=np.arange(100, 110), dim_keys=np.arange(10)),
+        _carried_batch(),
+    )
+    assert run.results["by_gw"].groups == {}
+
+
+def test_carried_one_entry_segments():
+    """Unique dim keys: every carried entry segment has exactly one entry."""
+    _assert_carried_native(
+        _carried_star(fact_keys=np.arange(20), dim_keys=np.arange(20)),
+        _carried_batch(),
+    )
+
+
+def test_carried_multi_entry_segments():
+    """Duplicated dim keys: segments of width > 1, accumulation in
+    entry-list order."""
+    _assert_carried_native(
+        _carried_star(fact_keys=np.arange(12), dim_keys=np.arange(12),
+                      dim_rows_per_key=4),
+        _carried_batch(),
+    )
+
+
+def test_carried_empty_fact():
+    """An empty trie under a carried plan: zero runs to expand."""
+    _assert_carried_native(
+        _carried_star(fact_keys=np.empty(0, dtype=np.int64),
+                      dim_keys=np.arange(4), n=0),
+        _carried_batch(),
+    )
+
+
+def test_carried_two_blocks_nested_expansion():
+    """Two carried views keyed in one emission: the cross-product
+    expansion nests entry loops two deep, in block-index order."""
+    rng = np.random.default_rng(9)
+    n, nk = 2000, 40
+    fact = Relation(
+        RelationSchema("Fact", (_C("k"), _C("j"), _C("g"), _F("x"))),
+        {
+            "k": rng.integers(0, nk, n),
+            "j": rng.integers(0, nk, n),
+            "g": rng.integers(0, 5, n),
+            "x": rng.integers(-3, 7, n).astype(float),
+        },
+    )
+    d1 = Relation(
+        RelationSchema("D1", (_C("k"), _C("w"), _F("z"))),
+        {
+            "k": rng.integers(0, nk, 120),
+            "w": rng.integers(0, 4, 120),
+            "z": rng.integers(1, 5, 120).astype(float),
+        },
+    )
+    d2 = Relation(
+        RelationSchema("D2", (_C("j"), _C("v"), _F("u"))),
+        {
+            "j": rng.integers(0, nk, 90),
+            "v": rng.integers(0, 3, 90),
+            "u": rng.integers(1, 6, 90).astype(float),
+        },
+    )
+    db = Database([fact, d1, d2])
+    batch = QueryBatch(
+        [
+            Query("wv", group_by=("w", "v"), aggregates=(
+                Aggregate((Factor("x", identity),)), Aggregate.count(),
+            )),
+            Query("gwv", group_by=("g", "w", "v"), aggregates=(
+                Aggregate((Factor("z", identity), Factor("u", identity))),
+            )),
+        ]
+    )
+    run = _compare_backends(db, batch)
+    assert any(len(p.carried_blocks) > 1 for p in run.compiled.plans)
+    assert run.compiled.native_group_count == run.compiled.num_groups
+    base = LMFAO(db, EngineConfig(backend="python")).run(batch)
+    for name in base.results:
+        assert run.results[name].groups == base.results[name].groups, name
+
+
+@pytest.mark.parametrize("workers,partitions", [(1, 3), (4, 1), (4, 4)])
+def test_carried_bit_exact_partitioned(workers, partitions):
+    """Carried plans through the partition/merge path, single-run edges
+    included (partitions > distinct level-0 runs of the small trie)."""
+    db = _carried_star(fact_keys=np.arange(8), dim_keys=np.arange(6),
+                       dim_rows_per_key=2)
+    batch = _carried_batch()
+    base = LMFAO(db, EngineConfig(backend="python", workers=1, partitions=1)).run(
+        batch
+    )
+    run = LMFAO(
+        db,
+        EngineConfig(
+            backend="numpy",
+            workers=workers,
+            partitions=partitions,
+            parallel_threshold=0,
+        ),
+    ).run(batch)
+    assert run.compiled.native_group_count == run.compiled.num_groups
     for name in base.results:
         assert run.results[name].groups == base.results[name].groups, name
 

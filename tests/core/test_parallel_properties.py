@@ -16,6 +16,12 @@ corner cases through the merge path: empty relations (empty partitions
 cannot exist — ``TrieIndex.partitions`` never returns one — but empty
 *tries* take the unsplittable path), single-run level-0 tries, and
 partition counts exceeding the run count.
+
+Since the carried-block lowering, the grid also runs **carried plans**
+natively on the NumPy backend instead of falling back per group:
+``carried_instances`` guarantees a cross-node group-by (hence a carried
+block) in every generated batch, and the carried grid test asserts no
+silent fallback happened.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ from repro.core import EngineConfig, LMFAO
 from repro.core.cbackend import gcc_available
 from repro.util.errors import CyclicSchemaError
 
-from tests.strategies import instances
+from tests.strategies import carried_instances, instances
 
 _SETTINGS = dict(
     deadline=None,
@@ -92,6 +98,30 @@ def test_numpy_grid_bit_exact(instance):
 @given(instance=instances())
 @settings(max_examples=8, **_SETTINGS)
 def test_c_grid_bit_exact(instance):
+    _grid_matches_sequential_python(instance, "c")
+
+
+@given(instance=carried_instances())
+@settings(max_examples=10, **_SETTINGS)
+def test_numpy_grid_bit_exact_carried(instance):
+    """Carried plans through the whole grid, natively — no fallbacks."""
+    _grid_matches_sequential_python(instance, "numpy")
+    try:
+        compiled = LMFAO(
+            instance.db, EngineConfig(backend="numpy")
+        ).compile(instance.batch)
+    except CyclicSchemaError:  # pragma: no cover - 2-relation star is a tree
+        pytest.skip("generated schema had a disconnected join graph")
+    assert any(plan.carried_blocks for plan in compiled.plans)
+    assert compiled.native_group_count == compiled.num_groups
+
+
+@pytest.mark.skipif(not gcc_available(), reason="gcc not on PATH")
+@given(instance=carried_instances())
+@settings(max_examples=5, **_SETTINGS)
+def test_c_grid_bit_exact_carried(instance):
+    """The C backend still falls back per group on carried plans; the
+    grid stays bit-exact through the mixed native/Python execution."""
     _grid_matches_sequential_python(instance, "c")
 
 

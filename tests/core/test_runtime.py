@@ -134,6 +134,111 @@ def test_merge_partial_outputs_aligned_columnar_fast_path():
     assert not isinstance(merged["V"], ArrayViewData)
 
 
+def _columnar(keys, rows):
+    from repro.core.runtime import ArrayViewData
+
+    return ArrayViewData.from_arrays([np.asarray(keys)], np.asarray(rows, float))
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.__setitem__(9, [9.0]),
+        lambda d: d.__delitem__(1),
+        lambda d: d.update({9: [9.0]}),
+        lambda d: d.__ior__({9: [9.0]}),
+        lambda d: d.setdefault(9, [9.0]),
+        lambda d: d.pop(1),
+        lambda d: d.popitem(),
+        lambda d: d.clear(),
+    ],
+)
+def test_array_view_data_mutations_auto_drop_columnar(mutate):
+    """Any mutating dict operation invalidates the columnar mirror, so a
+    merge path that grows or rewrites entries can never serve stale
+    arrays to a columnar consumer (regression: merge paths used to rely
+    on callers remembering to call drop_columnar)."""
+    data = _columnar([1, 2], [[1.0], [2.0]])
+    assert data.has_columns
+    mutate(data)
+    assert not data.has_columns
+    data.check_consistent()  # vacuously true without columns
+
+
+def test_array_view_data_read_only_ops_keep_columnar():
+    data = _columnar([1, 2], [[1.0], [2.0]])
+    assert data[1] == [1.0] and data.get(7) is None and len(data) == 2
+    assert list(data) == [1, 2] and 2 in data
+    data.setdefault(1, [9.0])  # existing key: a read, not a mutation
+    assert data.has_columns
+    data.check_consistent()
+
+
+def test_array_view_data_check_consistent_catches_desync():
+    """The LMFAO_DEBUG invariant check fails loudly on the one mutation
+    interception cannot see: writing through a stored aggregate list."""
+    data = _columnar([1, 2], [[1.0], [2.0]])
+    data.check_consistent()
+    data[1][0] += 5.0  # in-place list write, dict methods never called
+    assert data.has_columns  # ...so the arrays are now stale
+    with pytest.raises(AssertionError, match="desynchronised"):
+        data.check_consistent()
+
+
+def test_merge_partial_outputs_accumulating_keeps_columnar_sources_intact():
+    """The per-key summation path copies first-seen value lists; columnar
+    partials come out of the merge unmutated and still consistent."""
+    from repro.core.plan import Emission, MultiOutputPlan, RelationLevel
+    from repro.core.runtime import ArrayViewData, merge_partial_outputs
+
+    plan = MultiOutputPlan(
+        group_name="g",
+        node="R",
+        relation_levels=(RelationLevel(0, "a"),),
+        carried_blocks=(),
+        bindings=(),
+        subsums=(),
+        gammas=(),
+        betas=(),
+        emissions=(Emission("Q", "query", 1, ("a",), (), aligned=False),),
+        row_products=(),
+        level_functions=(),
+    )
+    parts = [_columnar([1, 2], [[1.0], [2.0]]), _columnar([2, 3], [[5.0], [7.0]])]
+    merged = merge_partial_outputs(plan, [{"Q": p} for p in parts])
+    assert merged["Q"] == {1: [1.0], 2: [7.0], 3: [7.0]}
+    assert not isinstance(merged["Q"], ArrayViewData)
+    for part in parts:
+        assert part.has_columns
+        part.check_consistent()
+
+
+def test_merge_partial_outputs_debug_flags_desynced_partial(monkeypatch):
+    """Under LMFAO_DEBUG the merge asserts partials are coherent before
+    trusting them."""
+    from repro.core.plan import Emission, MultiOutputPlan, RelationLevel
+    from repro.core.runtime import merge_partial_outputs
+
+    monkeypatch.setenv("LMFAO_DEBUG", "1")
+    plan = MultiOutputPlan(
+        group_name="g",
+        node="R",
+        relation_levels=(RelationLevel(0, "a"),),
+        carried_blocks=(),
+        bindings=(),
+        subsums=(),
+        gammas=(),
+        betas=(),
+        emissions=(Emission("Q", "query", 1, ("a",), (), aligned=False),),
+        row_products=(),
+        level_functions=(),
+    )
+    bad = _columnar([1], [[1.0]])
+    bad[1][0] = 99.0  # desync through the stored list
+    with pytest.raises(AssertionError, match="desynchronised"):
+        merge_partial_outputs(plan, [{"Q": bad}, {"Q": {2: [1.0]}}])
+
+
 def test_carried_binding_groups_entries():
     data = {(1, 7): [2.0], (1, 8): [3.0], (2, 7): [4.0]}
     binding = _binding(("a",), carried=("c",), block=0)

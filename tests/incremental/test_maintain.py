@@ -320,8 +320,62 @@ def test_unknown_incremental_mode_rejected(favorita_db):
         favorita_db,
         EngineConfig(join_tree_edges=FAVORITA_TREE, incremental_mode="bogus"),
     )
-    with pytest.raises(PlanError):
+    # the message names the config key and the offending value, like every
+    # other EngineConfig validation error
+    with pytest.raises(
+        PlanError, match=r"EngineConfig\.incremental_mode .*'bogus'"
+    ):
         engine.maintain(example_queries())
+
+
+def test_merge_delta_outputs_invalidates_columnar_target():
+    """The numeric merge writes through stored aggregate lists — the one
+    mutation ArrayViewData's dict interception cannot see — so it must
+    drop the target's columnar mirror itself (regression: the drop used
+    to live in one caller, so any other path through the merge served
+    stale arrays to downstream columnar consumers)."""
+    from repro.core.runtime import ArrayViewData
+
+    target = ArrayViewData.from_arrays(
+        [np.array([1, 2])], np.array([[1.0], [2.0]])
+    )
+    delta = ArrayViewData.from_arrays(
+        [np.array([2, 3])], np.array([[5.0], [7.0]])
+    )
+    assert MaintainedBatch._merge_delta_outputs(target, delta)
+    assert target == {1: [1.0], 2: [7.0], 3: [7.0]}
+    assert not target.has_columns  # fails pre-fix: stale arrays survive
+    target.check_consistent()
+    # the delta *source* is never mutated: its arrays stay live and valid
+    assert delta == {2: [5.0], 3: [7.0]} and delta.has_columns
+    delta.check_consistent()
+
+
+def test_numeric_merge_never_leaks_desynced_arrays(favorita_db, monkeypatch):
+    """End-to-end incremental guard under LMFAO_DEBUG with the NumPy
+    backend: carried plans included, every maintained store must keep its
+    columnar state coherent (or dropped) after init and every apply."""
+    monkeypatch.setenv("LMFAO_DEBUG", "1")
+    batch = QueryBatch(
+        [
+            Query("units_total", aggregates=(Aggregate.sum("units"),)),
+            # cross-node group-by: carried block in the root plan
+            Query("store_class", group_by=("store", "class"), aggregates=(
+                Aggregate.sum("units"), Aggregate.count(),
+            )),
+        ]
+    )
+    engine = LMFAO(
+        favorita_db,
+        EngineConfig(join_tree_edges=FAVORITA_TREE, backend="numpy"),
+    )
+    handle = engine.maintain(batch)
+    sales = favorita_db.relation("Sales")
+    handle.apply(inserts={"Sales": [sales.row(0), sales.row(1)]})
+    handle.apply(deletes={"Sales": [sales.row(0)]})
+    recomputed = handle.recompute()
+    for name in recomputed.results:
+        assert_results_equal(handle[name], recomputed.results[name])
 
 
 def test_with_pushed_shared_predicates(favorita_db):

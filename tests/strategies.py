@@ -130,3 +130,73 @@ def instances(draw, max_queries: int = 3) -> Instance:
         [draw(queries_for(db, f"Q{i}")) for i in range(num_queries)]
     )
     return Instance(db=db, batch=batch)
+
+
+@st.composite
+def carried_instances(draw, max_rows: int = 24) -> Instance:
+    """Instances whose plans are *guaranteed* to contain carried blocks.
+
+    Two relations joined on ``k``, each with a private categorical
+    attribute; a query grouping by both privates forces the root node's
+    incoming view to carry the non-local attribute, whichever node the
+    planner roots the query at. Random extra queries ride along so
+    carried and non-carried groups coexist in one batch, and the data
+    keeps the generator's empty/duplicate corners (0-row relations,
+    disjoint join keys, repeated entries per key).
+    """
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    rows0 = draw(st.integers(0, max_rows))
+    rows1 = draw(st.integers(0, max_rows))
+    # overlapping-or-not key domains: disjoint draws exercise the all-miss
+    # (dead alive-mask) carried path
+    lo1 = draw(st.sampled_from([0, 0, 0, 5]))
+    r0 = Relation(
+        RelationSchema(
+            "R0",
+            (
+                Attribute.categorical("k1"),
+                Attribute.categorical("c2"),
+                Attribute.continuous("n3"),
+            ),
+        ),
+        {
+            "k1": rng.integers(0, 5, rows0),
+            "c2": rng.integers(0, 4, rows0),
+            "n3": rng.integers(-3, 7, rows0).astype(float),
+        },
+    )
+    r1 = Relation(
+        RelationSchema(
+            "R1",
+            (
+                Attribute.categorical("k1"),
+                Attribute.categorical("c4"),
+                Attribute.continuous("n5"),
+            ),
+        ),
+        {
+            "k1": rng.integers(lo1, lo1 + 5, rows1),
+            "c4": rng.integers(0, 4, rows1),
+            "n5": rng.integers(-2, 6, rows1).astype(float),
+        },
+    )
+    db = Database([r0, r1], name="carried")
+    aggregates = []
+    for _ in range(draw(st.integers(1, 2))):
+        factors = tuple(
+            Factor(draw(st.sampled_from(["n3", "n5", "c2"])), draw(
+                st.sampled_from([identity, square])
+            ))
+            for _ in range(draw(st.integers(0, 2)))
+        )
+        aggregates.append(Aggregate(factors))
+    cross = Query(
+        name="Qcross",
+        group_by=("c2", "c4"),
+        aggregates=tuple(aggregates),
+    )
+    extra = [
+        draw(queries_for(db, f"Q{i}"))
+        for i in range(draw(st.integers(0, 2)))
+    ]
+    return Instance(db=db, batch=QueryBatch([cross, *extra]))

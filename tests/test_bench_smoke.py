@@ -35,7 +35,16 @@ def test_bench_parallel_grid_smoke(tmp_path):
     )
     assert report["numpy_over_python_sequential"] > 0
     assert "skipped" in report["numpy_speedup_assertion"]
-    # numpy runs every group of this batch natively at every grid point
-    for point in report["grid"]:
+    # numpy runs every group natively at every grid point — the scaling
+    # batch and the carried-heavy batch alike (no silent fallbacks)
+    for point in report["grid"] + report["carried_grid"]:
         if point["backend"] == "numpy":
             assert point["native_groups"] == point["num_groups"]
+    # the carried leg covers the full workers × partitions grid, bit-exact
+    assert len(report["carried_grid"]) == 4
+    assert all(
+        point["bit_exact_vs_sequential_python"]
+        for point in report["carried_grid"]
+    )
+    assert report["numpy_over_python_sequential_carried"] > 0
+    assert "skipped" in report["carried_numpy_speedup_assertion"]
