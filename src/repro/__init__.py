@@ -22,8 +22,9 @@ regression, CART regression trees, and Rk-means clustering.
 """
 
 from repro.baselines import MaterializedPipeline, SqlEngineBaseline
-from repro.core import CompiledBatch, EngineConfig, LMFAO, RunResult
+from repro.core import CompiledBatch, EngineConfig, LMFAO, RunResult, Snapshot
 from repro.incremental import ApplyResult, MaintainedBatch, RelationDelta
+from repro.serve import AggregateServer, PlanCache, ServerStats
 from repro.data import (
     Attribute,
     AttributeKind,
@@ -63,6 +64,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Aggregate",
+    "AggregateServer",
     "ApplyResult",
     "Attribute",
     "AttributeKind",
@@ -81,6 +83,7 @@ __all__ = [
     "MaintainedBatch",
     "MaterializedPipeline",
     "Op",
+    "PlanCache",
     "Predicate",
     "Query",
     "QueryBatch",
@@ -89,6 +92,8 @@ __all__ = [
     "RelationDelta",
     "RelationSchema",
     "RunResult",
+    "ServerStats",
+    "Snapshot",
     "SqlEngineBaseline",
     "TrieIndex",
     "assign_roots",

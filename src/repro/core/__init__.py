@@ -2,10 +2,17 @@
 
 from repro.core.codegen import CompiledGroup, generate_group
 from repro.core.decompose import decompose_group
-from repro.core.engine import CompiledBatch, EngineConfig, LMFAO, RunResult
+from repro.core.engine import (
+    CompiledBatch,
+    EngineConfig,
+    LMFAO,
+    PlanBinding,
+    RunResult,
+)
 from repro.core.groups import Group, GroupPlan, build_groups
 from repro.core.orders import GroupOrder, order_group
 from repro.core.plan import MultiOutputPlan
+from repro.core.snapshot import Snapshot, SnapshotStore
 from repro.core.viewgen import ViewGenerator, ViewPlan
 from repro.core.views import AggRef, Output, View, ViewAggregate
 
@@ -20,7 +27,10 @@ __all__ = [
     "LMFAO",
     "MultiOutputPlan",
     "Output",
+    "PlanBinding",
     "RunResult",
+    "Snapshot",
+    "SnapshotStore",
     "View",
     "ViewAggregate",
     "ViewGenerator",

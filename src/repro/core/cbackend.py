@@ -687,9 +687,13 @@ class CCompiledGroup:
                 }[part]
                 put(i, np.ascontiguousarray(array, dtype=np.int64))
             elif kind == "farr":
+                # bound-function cache signature, like the other backends:
+                # PlanBinding may re-bind the slot name's constant per
+                # request while the trie (and its caches) is shared
                 _, (k, attr, func_name) = role
+                func = functions[func_name]
                 put(i, trie.level_function_array(
-                    k, f"{func_name}({attr})", functions[func_name]
+                    k, f"{func.name}({attr})", func
                 ))
             elif kind == "psum":
                 _, product = role
@@ -698,7 +702,7 @@ class CCompiledGroup:
                 put(
                     i,
                     trie.prefix_sum(
-                        _product_signature(product),
+                        _product_signature(product, functions),
                         _product_column(product, functions),
                     ),
                 )

@@ -18,6 +18,17 @@ relations instead (``push_shared_predicates``).
 
 Every optimisation is individually switchable through
 :class:`EngineConfig`, which is what the ablation benchmarks exercise.
+
+Execution is **snapshot-isolated**: all trie/relation state lives in
+immutable versioned :class:`~repro.core.snapshot.Snapshot` objects held by
+a :class:`~repro.core.snapshot.SnapshotStore`; :meth:`LMFAO.run` pins the
+version it started on, and incremental maintenance installs successor
+versions atomically (:mod:`repro.incremental.maintain`), so queries never
+observe a half-applied delta. The compile pipeline sits behind a
+fingerprintable boundary: :class:`CompiledBatch` is pure structure, and a
+:class:`PlanBinding` (built by :mod:`repro.serve.fingerprint`) re-binds
+per-request predicate constants at execution time — the compile-once
+serving layer (:mod:`repro.serve`) is built on exactly these two seams.
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ from repro.core.decompose import decompose_group
 from repro.core.groups import GroupPlan, build_groups
 from repro.core.orders import GroupOrder, order_group
 from repro.core.plan import MultiOutputPlan
+from repro.core.snapshot import Snapshot, SnapshotStore
 from repro.core.runtime import (
     execute_plan,
     execute_plan_partitioned,
@@ -60,82 +72,129 @@ from repro.util.timer import Stopwatch
 class EngineConfig:
     """Engine options; the defaults are full-LMFAO.
 
-    Optimisation switches (toggled by the ablation benchmarks; the first
-    four are on by default and each ``=False`` disables one layer):
+    The dataclass itself is a plain frozen value; validation runs when a
+    config reaches an engine — :meth:`validate` is called by
+    ``LMFAO(...)`` and again by every ``compile()`` — except where a field
+    says otherwise below. Every execution-affecting field also enters the
+    plan-cache fingerprint of the serving layer
+    (:func:`repro.serve.fingerprint.batch_fingerprint`): engines with
+    different configs never share compiled artefacts.
 
-    ``merge_views=False``
-        no cross-query view merging (each query keeps its own views);
-    ``multi_output=False``
-        one group per view/output — no shared scans;
-    ``factorize=False``
-        no γ/β sharing or pushdown — every term is evaluated at the
-        deepest loop level of its artifact;
-    ``share_scan_terms=False``
-        no hoisting of repeated term reads in the generated code — every
-        γ/β update re-evaluates its trie/prefix-sum expressions;
-    ``push_shared_predicates=True``
-        (off by default) predicates common to all queries become physical
-        filters on the base relations instead of indicator factors;
-    ``single_root``
-        force every query onto one root (``"auto"`` = largest relation),
-        the paper's strawman of one rooted tree for the whole batch.
+    **Optimisation switches** (toggled by the ablation benchmarks,
+    ``benchmarks/bench_ablation.py``; the first four are on by default and
+    each ``=False`` disables one layer):
 
-    Planning overrides:
+    ``merge_views`` (bool, default True)
+        no value validation. ``False`` disables cross-query view merging —
+        each query keeps its own views (paper §2.1/Figure 2: merged view
+        DAG; §4 ablation);
+    ``multi_output`` (bool, default True)
+        no value validation. ``False`` means one group per view/output —
+        no shared scans (paper §2.2: grouping views at a node; Figure 2's
+        seven groups);
+    ``factorize`` (bool, default True)
+        no value validation. ``False`` disables γ/β sharing and pushdown —
+        every term is evaluated at the deepest loop level of its artifact
+        (paper §2.2/Figure 3: the α/β decomposition);
+    ``share_scan_terms`` (bool, default True)
+        no value validation. ``False`` disables hoisting of repeated term
+        reads in the generated code — every γ/β update re-evaluates its
+        trie/prefix-sum expressions (paper §2.3: code specialisation);
+    ``push_shared_predicates`` (bool, default False)
+        no value validation. ``True`` turns predicates common to *every*
+        query of the batch into physical filters on the base relations
+        instead of indicator factors (paper §3.2: decision-tree path
+        conditions);
+    ``single_root`` (str | None, default None)
+        validated at ``compile()``: must be ``"auto"`` (pick the largest
+        relation) or the name of a join-tree node, else
+        :class:`~repro.util.errors.PlanError`. Forces every query onto one
+        root — the paper's strawman of one rooted tree for the whole batch
+        (§2.1, root assignment discussion).
 
-    ``root_override``
-        query name → join-tree node, pinning individual query roots (the
-        remaining queries keep the cost-based assignment);
-    ``join_tree_edges``
+    **Planning overrides:**
+
+    ``root_override`` (dict[str, str] | None, default None)
+        query name → join-tree node, pinning individual query roots;
+        unknown node names are rejected by root assignment
+        (:func:`repro.jointree.roots.assign_roots`) with a ``PlanError``.
+        Remaining queries keep the cost-based assignment (paper §2.1:
+        "we choose Sales as root for Q1 and Q2, Items for Q3");
+    ``join_tree_edges`` (tuple[tuple[str, str], ...] | None, default None)
         explicit join-tree edge list instead of the constructed tree —
-        how tests pin the paper's Figure 2 tree.
+        how tests pin the paper's Figure 2 tree. Validated by the
+        :class:`~repro.jointree.jointree.JoinTree` constructor (unknown
+        relations, disconnected forests and running-intersection
+        violations raise :class:`~repro.util.errors.SchemaError`).
 
-    Execution:
+    **Execution** (all four validated by :meth:`validate`, with messages
+    naming ``EngineConfig.<field>`` and the offending value):
 
-    ``workers``
-        number of threads in the execution pool (1 = sequential). The
-        scheduler exploits **task parallelism** — independent groups of the
-        dependency DAG run concurrently — and, combined with ``partitions``,
-        **domain parallelism**: each large group fans out across trie
-        partitions under the same shared worker budget;
-    ``partitions``
-        number of disjoint level-0 trie partitions a group's scan is split
-        into (1 = no domain parallelism). Per-partition partial outputs are
-        merged deterministically in partition order: per-key summation for
-        accumulating emissions, disjoint concatenation for aligned ones.
-        Takes effect for ``workers == 1`` too (serial partitioned
-        execution), which keeps every configuration differentially
-        testable against the sequential baseline;
-    ``parallel_threshold``
-        minimum number of trie rows before a group's scan fans out across
-        partitions — small groups run unpartitioned to avoid per-partition
-        overhead (default 8192 rows);
-    ``backend``
-        ``"python"`` (specialised Python over the trie runtime),
+    ``workers`` (int, default 1)
+        must be an integer ≥ 1; 1 = sequential. The scheduler exploits
+        **task parallelism** — independent groups of the dependency DAG
+        run concurrently — and, combined with ``partitions``, **domain
+        parallelism**: each large group fans out across trie partitions
+        under the same shared worker budget (paper §2.3, §4);
+    ``partitions`` (int, default 1)
+        must be an integer ≥ 1; 1 = no domain parallelism. Number of
+        disjoint level-0 trie partitions a group's scan is split into.
+        Per-partition partial outputs are merged deterministically in
+        partition order: per-key summation for accumulating emissions,
+        disjoint concatenation for aligned ones. Takes effect for
+        ``workers == 1`` too (serial partitioned execution), which keeps
+        every configuration differentially testable against the
+        sequential baseline;
+    ``parallel_threshold`` (int, default 8192)
+        must be an integer ≥ 0 (rows). Minimum number of trie rows before
+        a group's scan fans out across partitions — small groups run
+        unpartitioned to avoid per-partition overhead;
+    ``backend`` (str, default "python")
+        must be one of ``"python"`` (specialised Python over the trie
+        runtime — the paper's generated C++ transposed to Python, §2.3),
         ``"numpy"`` (whole-level array programs over the same trie —
         segment-reduction sums, vectorized probes, CSR entry-list
         expansion for carried views; every plan shape runs natively, no
         fallback class), or ``"c"`` (generated C compiled with gcc,
         per-group fallback to Python when a plan uses carried blocks or
-        non-integer keys). The C backend's ctypes calls
-        release the GIL and the generated functions are reentrant, so
-        ``workers > 1`` gives real multicore scaling there; NumPy releases
-        the GIL inside large kernels (partial scaling, no gcc needed); the
-        Python backend stays GIL-serialised but goes through the same
-        scheduler and merge paths.
+        non-integer keys; ``compile()`` raises ``PlanError`` if gcc is
+        missing). The C backend's ctypes calls release the GIL and the
+        generated functions are reentrant, so ``workers > 1`` gives real
+        multicore scaling there; NumPy releases the GIL inside large
+        kernels (partial scaling, no gcc needed); the Python backend
+        stays GIL-serialised but goes through the same scheduler and
+        merge paths.
 
-    Incremental maintenance (see :meth:`LMFAO.maintain`):
+    **Incremental maintenance** (see :meth:`LMFAO.maintain`; beyond the
+    paper, which recomputes batches from scratch):
 
-    ``incremental_mode``
-        how :meth:`MaintainedBatch.apply` refreshes a dirty group:
-        ``"numeric"`` applies O(|Δ|) view deltas computed over a trie of
-        just the changed tuples (insert-only changes at the group's own
-        node), ``"rescan"`` re-executes the group over its cached full
-        trie, ``"auto"`` (default) uses numeric where it is exact and
-        falls back to rescan (deletes, or upstream view changes);
-    ``incremental_cutoff=False``
-        disable delta cutoff: downstream groups re-run even when a
-        refreshed view turned out identical (ablation of the dirty-path
-        scheduler).
+    ``incremental_mode`` (str, default "auto")
+        validated at ``maintain()`` (not at engine construction): must be
+        one of ``"numeric"`` (O(|Δ|) view deltas computed over a trie of
+        just the changed tuples — insert-only changes at the group's own
+        node — and a ``PlanError`` on deletes rather than a silent
+        fallback), ``"rescan"`` (re-execute dirty groups over their
+        cached full tries; bit-for-bit equal to recomputation), or
+        ``"auto"`` (numeric where exact, rescan otherwise);
+    ``incremental_cutoff`` (bool, default True)
+        no value validation. ``False`` disables delta cutoff: downstream
+        groups re-run even when a refreshed view turned out identical
+        (ablation of the dirty-path scheduler).
+
+    Examples
+    --------
+    Validation is eager and the error names the offending field::
+
+        >>> EngineConfig(workers=0).validate()
+        Traceback (most recent call last):
+            ...
+        repro.util.errors.PlanError: EngineConfig.workers must be an integer >= 1 (1 = sequential), got 0
+        >>> EngineConfig(backend="rust").validate()
+        Traceback (most recent call last):
+            ...
+        repro.util.errors.PlanError: EngineConfig.backend must be one of 'python', 'numpy', 'c', got 'rust'
+        >>> EngineConfig(partitions=4).validate().partitions
+        4
     """
 
     merge_views: bool = True
@@ -153,10 +212,73 @@ class EngineConfig:
     incremental_mode: str = "auto"
     incremental_cutoff: bool = True
 
+    def validate(self) -> "EngineConfig":
+        """Reject nonsensical execution knobs, with actionable messages.
+
+        Called by ``LMFAO(...)`` and ``compile()``; returns ``self`` so it
+        chains. See the class docstring for the per-field rules.
+        """
+        _validate_execution_config(self)
+        return self
+
+
+@dataclass(frozen=True)
+class PlanBinding:
+    """Per-request constants bound to a structurally cached :class:`CompiledBatch`.
+
+    Produced by :func:`repro.serve.fingerprint.bind_batch` when a
+    plan-cache hit serves a batch that is structurally identical to the
+    compiled one but differs in ``WHERE``-predicate constants. The
+    compiled artefacts — view plan, groups, orders, generated code,
+    native groups — are reused verbatim; everything constant-dependent is
+    swapped at execution time through this object:
+
+    ``batch``
+        the *request* batch. Results are collected against its
+        :class:`~repro.query.query.Query` objects (same names and
+        group-bys as the compiled batch, by fingerprint equality), so the
+        returned :class:`~repro.query.query.QueryResult`\\ s carry the
+        request's predicates, not the cached batch's;
+    ``functions``
+        plan slot name → runtime :class:`~repro.query.functions.Function`.
+        Keys are the *compiled* batch's function names (what the plan IR
+        references); values are the request's functions — for an
+        indicator slot ``ind[<=5]`` compiled from ``x <= 5``, a request
+        with ``x <= 7`` binds the ``ind[<=7]`` function under the
+        ``ind[<=5]`` key. Trie-side caches key on the *bound* function's
+        own name, so re-bound constants never collide in shared caches
+        (see :class:`repro.core.runtime.GroupEnvironment`);
+    ``shared_predicates``
+        the request's pushed-down predicate constants (only non-empty
+        under ``push_shared_predicates=True``); the trie cache key
+        includes their true values, so differently-filtered requests get
+        distinct physical tries.
+    """
+
+    batch: QueryBatch
+    functions: dict[str, Function]
+    shared_predicates: tuple[Predicate, ...]
+
 
 @dataclass
 class CompiledBatch:
-    """All artefacts of compiling one batch (inspectable, reusable)."""
+    """All artefacts of compiling one batch (inspectable, reusable).
+
+    A compiled batch is **pure structure**: nothing in it depends on the
+    database *contents* (only on schema, statistics-driven planning
+    choices, and the batch's shape), so it can be executed against any
+    :class:`~repro.core.snapshot.Snapshot` of the same schema — this is
+    what lets the incremental maintainer re-drive groups over updated
+    data, and what the serving layer's structural plan cache
+    (:mod:`repro.serve`) exploits to reuse one compilation across
+    requests, re-binding predicate constants via :class:`PlanBinding`.
+
+    Field notes: ``batch`` is the original request; ``folded`` the same
+    batch with non-shared predicates folded into indicator factors;
+    ``execution_order`` a topological order of ``group_plan``'s
+    dependency DAG; ``shared_predicates`` the predicates pushed into
+    physical filters (empty unless ``push_shared_predicates``).
+    """
 
     batch: QueryBatch
     folded: QueryBatch
@@ -196,12 +318,24 @@ class CompiledBatch:
 
 @dataclass
 class RunResult:
-    """Results of one batch run plus instrumentation."""
+    """Results of one batch run plus instrumentation.
+
+    ``results`` maps query name → :class:`~repro.query.query.QueryResult`;
+    ``timings`` holds the phase laps (``compile`` — absent when a cached
+    plan was executed directly — ``execute``, ``collect``) and
+    ``group_times`` per-group wall-clock keyed by group name.
+    ``snapshot_version`` records which database version the run was
+    pinned to: every value read came from exactly that
+    :class:`~repro.core.snapshot.Snapshot`, no matter what maintenance
+    installed concurrently — the serving layer's isolation tests compare
+    results against the per-version oracle through this field.
+    """
 
     results: dict[str, QueryResult]
     compiled: CompiledBatch
     timings: dict[str, float]
     group_times: dict[str, float] = field(default_factory=dict)
+    snapshot_version: int = 0
 
     def __getitem__(self, query_name: str) -> QueryResult:
         return self.results[query_name]
@@ -217,24 +351,56 @@ class LMFAO:
     Caches trie indexes (per node, attribute order and filter) and carries
     them across runs — the decision-tree workload recompiles aggregates per
     tree node but reuses every trie.
+
+    All data state lives in an immutable versioned
+    :class:`~repro.core.snapshot.Snapshot` behind a
+    :class:`~repro.core.snapshot.SnapshotStore`: :meth:`run` pins the
+    current version on entry and reads only from it, while incremental
+    maintenance (:meth:`maintain`) installs successor versions atomically
+    — concurrent queries never block behind maintenance and never observe
+    a half-applied delta. ``engine.db`` always denotes the *current*
+    version's database.
     """
 
     def __init__(self, db: Database, config: EngineConfig | None = None) -> None:
-        self.db = db
         self.config = config or EngineConfig()
-        _validate_execution_config(self.config)
+        self.config.validate()
         if self.config.join_tree_edges is not None:
             self.tree = JoinTree(db.schema, list(self.config.join_tree_edges))
         else:
             self.tree = build_join_tree(db.schema)
-        self._trie_cache: dict[tuple, TrieIndex] = {}
+        self._snapshots = SnapshotStore(Snapshot(version=0, db=db, tries={}))
+
+    @property
+    def db(self) -> Database:
+        """The current snapshot's database (advances under maintenance)."""
+        return self._snapshots.current().db
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current version: an immutable view of all data state."""
+        return self._snapshots.current()
+
+    @property
+    def _trie_cache(self) -> dict:
+        """The current snapshot's trie memo (back-compat accessor)."""
+        return self._snapshots.current().tries
 
     # ------------------------------------------------------------------ compile
-    def compile(self, batch: QueryBatch) -> CompiledBatch:
-        """Run all three optimisation layers; returns executable artefacts."""
-        batch.validate_against(self.db.schema)
+    def compile(
+        self, batch: QueryBatch, snapshot: Snapshot | None = None
+    ) -> CompiledBatch:
+        """Run all three optimisation layers; returns executable artefacts.
+
+        ``snapshot`` pins the database version planning statistics come
+        from (cardinalities, domain sizes for root assignment and
+        attribute orders); default is the current version. :meth:`run`
+        passes its pinned snapshot so planning and execution read the
+        same version even under concurrent maintenance.
+        """
+        db = (snapshot or self._snapshots.current()).db
+        batch.validate_against(db.schema)
         config = self.config
-        _validate_execution_config(config)
+        config.validate()
         functions = _collect_functions(batch)
 
         shared: tuple[Predicate, ...] = ()
@@ -242,9 +408,9 @@ class LMFAO:
             shared = batch.shared_predicates()
         folded = _fold_predicates(batch, shared, functions)
 
-        roots = self._assign_roots(folded)
+        roots = self._assign_roots(folded, db)
         generator = ViewGenerator(
-            self.db, self.tree, merge_across_queries=config.merge_views
+            db, self.tree, merge_across_queries=config.merge_views
         )
         view_plan = generator.generate(folded, roots)
         group_plan = build_groups(view_plan, multi_output=config.multi_output)
@@ -253,7 +419,7 @@ class LMFAO:
         plans: list[MultiOutputPlan] = []
         code: list[CompiledGroup] = []
         for group in group_plan.groups:
-            order = order_group(group, view_plan, self.db)
+            order = order_group(group, view_plan, db)
             plan = decompose_group(group, order, factorize=config.factorize)
             orders.append(order)
             plans.append(plan)
@@ -316,11 +482,17 @@ class LMFAO:
 
     # --------------------------------------------------------------------- run
     def run(self, batch: QueryBatch) -> RunResult:
-        """Compile (if needed) and execute a batch."""
+        """Compile (if needed) and execute a batch.
+
+        The snapshot is pinned *before* compilation: planning statistics
+        and execution read the same database version even if maintenance
+        installs a successor mid-run.
+        """
         watch = Stopwatch()
+        snapshot = self._snapshots.current()
         with watch.lap("compile"):
-            compiled = self.compile(batch)
-        return self.execute(compiled, watch=watch)
+            compiled = self.compile(batch, snapshot=snapshot)
+        return self.execute(compiled, watch=watch, snapshot=snapshot)
 
     # -------------------------------------------------------------- incremental
     def maintain(self, batch: QueryBatch):
@@ -338,10 +510,33 @@ class LMFAO:
 
         return MaintainedBatch(self, self.compile(batch))
 
-    def execute(self, compiled: CompiledBatch, watch: Stopwatch | None = None) -> RunResult:
-        """Execute an already compiled batch."""
+    def execute(
+        self,
+        compiled: CompiledBatch,
+        watch: Stopwatch | None = None,
+        snapshot: Snapshot | None = None,
+        binding: PlanBinding | None = None,
+    ) -> RunResult:
+        """Execute an already compiled batch.
+
+        ``snapshot`` pins the database version all reads come from
+        (default: the current one — pinned here, once, so the run is
+        isolated from concurrently installed versions either way).
+        ``binding`` re-binds per-request predicate constants onto a
+        structurally cached compilation (see :class:`PlanBinding`); when
+        None the compiled batch executes with its own constants.
+        """
         watch = watch or Stopwatch()
         config = self.config
+        snapshot = snapshot if snapshot is not None else self._snapshots.current()
+        if binding is not None:
+            functions = binding.functions
+            shared = binding.shared_predicates
+            batch = binding.batch
+        else:
+            functions = compiled.functions
+            shared = compiled.shared_predicates
+            batch = compiled.batch
         group_times: dict[str, float] = {}
         view_data: dict[str, dict] = {}
         view_group_by = {
@@ -359,14 +554,15 @@ class LMFAO:
         with watch.lap("execute"):
             if config.workers > 1:
                 self._run_parallel(
-                    compiled, view_data, view_group_by, store_outputs, group_times
+                    compiled, view_data, view_group_by, store_outputs,
+                    group_times, snapshot, functions, shared,
                 )
             else:
                 for index in compiled.execution_order:
                     group = compiled.group_plan.groups[index]
                     plan = compiled.plans[index]
                     start = time.perf_counter()
-                    trie = self._trie(plan.node, plan.order, compiled.shared_predicates)
+                    trie = self._trie(plan.node, plan.order, shared, snapshot)
                     native = (
                         compiled.native_groups[index]
                         if compiled.native_groups
@@ -382,7 +578,7 @@ class LMFAO:
                         tries,
                         view_data,
                         view_group_by,
-                        compiled.functions,
+                        functions,
                     )
                     store_outputs(index, outputs)
                     group_times[group.name] = time.perf_counter() - start
@@ -390,33 +586,38 @@ class LMFAO:
         with watch.lap("collect"):
             results = {
                 query.name: _to_query_result(query, query_raw[query.name])
-                for query in compiled.batch
+                for query in batch
             }
         return RunResult(
             results=results,
             compiled=compiled,
             timings=watch.laps,
             group_times=group_times,
+            snapshot_version=snapshot.version,
         )
 
     # ------------------------------------------------------------------ helpers
-    def _assign_roots(self, batch: QueryBatch) -> dict[str, str]:
+    def _assign_roots(self, batch: QueryBatch, db: Database) -> dict[str, str]:
         config = self.config
         if config.single_root is not None:
             root = config.single_root
             if root == "auto":
-                root = max(self.tree.nodes, key=self.db.cardinality)
+                root = max(self.tree.nodes, key=db.cardinality)
             if root not in self.tree.nodes:
                 raise PlanError(
                     f"EngineConfig.single_root {root!r} is not a join-tree node"
                 )
             return {query.name: root for query in batch}
-        return assign_roots(self.db, self.tree, batch, override=config.root_override)
+        return assign_roots(db, self.tree, batch, override=config.root_override)
 
     def _trie(
-        self, node: str, order: tuple[str, ...], shared: tuple[Predicate, ...]
+        self,
+        node: str,
+        order: tuple[str, ...],
+        shared: tuple[Predicate, ...],
+        snapshot: Snapshot,
     ) -> TrieIndex:
-        return node_trie(self.db, node, order, shared, self._trie_cache)
+        return node_trie(snapshot.db, node, order, shared, snapshot.tries)
 
     def _run_parallel(
         self,
@@ -425,6 +626,9 @@ class LMFAO:
         view_group_by: dict,
         store_outputs,
         group_times: dict[str, float],
+        snapshot: Snapshot,
+        functions: dict[str, Function],
+        shared: tuple[Predicate, ...],
     ) -> None:
         """Event-driven scheduler over both parallelism axes.
 
@@ -459,7 +663,7 @@ class LMFAO:
         def prepare(index: int):
             started[index] = time.perf_counter()
             plan = compiled.plans[index]
-            trie = self._trie(plan.node, plan.order, compiled.shared_predicates)
+            trie = self._trie(plan.node, plan.order, shared, snapshot)
             native = (
                 compiled.native_groups[index] if compiled.native_groups else None
             )
@@ -479,7 +683,7 @@ class LMFAO:
                 trie,
                 view_data,
                 view_group_by,
-                compiled.functions,
+                functions,
                 prepared_bindings=prepared,
             )
 

@@ -502,8 +502,11 @@ class _PlanEvaluation:
                 raise PlanError(
                     f"no runtime function registered for {term.func_name!r}"
                 )
+            # trie caches key on the *bound* function's name so re-bound
+            # predicate constants (PlanBinding) never collide on a shared
+            # index — see runtime._product_signature
             got = self.trie.level_function_array(
-                term.level, f"{term.func_name}({term.attr})", func
+                term.level, f"{func.name}({term.attr})", func
             )
         elif isinstance(term, ViewTerm):
             got = self._probed[term.view][:, term.agg_index]
@@ -514,8 +517,15 @@ class _PlanEvaluation:
             got = self.tables[term.view].subsum(key_row, found, term.agg_index)
         elif isinstance(term, (CountTerm, RowSumTerm)):
             # pure trie functions: cache the materialised run arrays on
-            # the index, like the factor arrays and prefix-sum registers
-            key = ("term",) + term.sig
+            # the index, like the factor arrays and prefix-sum registers.
+            # RowSumTerm keys resolve plan slot names to the bound
+            # functions' own names (term.sig carries slot names, which a
+            # PlanBinding may re-bind per request on this shared index)
+            if isinstance(term, RowSumTerm):
+                key = ("term", "r", term.level,
+                       _product_signature(term.product, self.functions))
+            else:
+                key = ("term",) + term.sig
             got = self.cache.get(key)
             if got is None:
                 if isinstance(term, CountTerm):
@@ -526,7 +536,7 @@ class _PlanEvaluation:
                         got = (lvl.row_end - lvl.row_start).astype(np.float64)
                 else:
                     psum = self.trie.prefix_sum(
-                        _product_signature(term.product),
+                        _product_signature(term.product, self.functions),
                         _product_column(term.product, self.functions),
                     )
                     if term.level < 0:

@@ -304,7 +304,52 @@ class ViewBinding:
 
 @dataclass
 class MultiOutputPlan:
-    """Executable description of one view group (Figure 3, formalised)."""
+    """Executable description of one view group (paper §2.2–2.3, Figure 3).
+
+    The contract between the optimiser (:func:`repro.core.decompose.
+    decompose_group`) and every executor — the generated-Python code
+    (:mod:`repro.core.codegen`), the reference interpreter, and the NumPy
+    and C backends all consume exactly this IR and must agree
+    bit-for-bit on integer data.
+
+    Field by field:
+
+    ``group_name`` / ``node``
+        the group's name and the join-tree node whose relation the loop
+        nest scans (paper: "groups of views computed at the same node");
+    ``relation_levels``
+        one trie loop per interesting node attribute, in the group's
+        attribute order (:attr:`order` is the derived tuple) — Figure 3's
+        nested loops over distinct prefixes;
+    ``carried_blocks`` / ``subsums``
+        incoming views whose group-by carries non-local attributes, plus
+        the Σ-over-entries terms they contribute (see
+        :class:`CarriedBlock`);
+    ``bindings``
+        how each incoming view is probed (:class:`ViewBinding`); also the
+        group's dependency frontier for incremental maintenance
+        (:attr:`consumed_views`);
+    ``gammas`` / ``betas``
+        the hash-consed prefix-product and running-sum chains — the
+        paper's ``α`` locals and ``β`` partial aggregates, shared between
+        artifacts with equal suffixes (Figure 3's ``β1``);
+    ``emissions``
+        how every artifact's slots are written out (:class:`Emission`:
+        scalar, hash accumulate, or aligned assignment);
+    ``row_products`` / ``level_functions``
+        the distinct row-factor products and per-level factor
+        evaluations the runtime materialises as prefix-sum registers and
+        value arrays (``function names`` here are *plan slot names*: a
+        :class:`~repro.core.engine.PlanBinding` may re-bind them to
+        different constants per request; executors resolve slots through
+        the functions mapping they are given and key trie caches by the
+        bound function's own name).
+
+    A plan is **pure structure** — it never references data contents —
+    so one plan executes against any snapshot and any re-bound constants;
+    :attr:`partition_safe` additionally certifies it for per-partition
+    execution + merge (domain parallelism).
+    """
 
     group_name: str
     node: str

@@ -155,8 +155,23 @@ class ArrayViewData(dict):
         return data
 
 
-def _product_signature(product: tuple[tuple[str, str], ...]) -> str:
-    return "*".join(f"{func}({attr})" for attr, func in product)
+def _product_signature(
+    product: tuple[tuple[str, str], ...], functions: Mapping[str, Function]
+) -> str:
+    """Trie-cache signature of a row-factor product, by *bound* function.
+
+    Plans reference functions by slot name; the functions mapping resolves
+    each slot to the runtime :class:`Function` actually executing. The
+    cache signature must use the **resolved** function's name: under a
+    plan-cache hit with re-bound predicate constants (see
+    :class:`repro.core.engine.PlanBinding`), the slot name carries the
+    *compiled* batch's constant while the bound function carries the
+    request's — and trie-attached caches are shared across requests, so
+    keying on the slot name would serve one request's indicator arrays to
+    another. Function names are unique per behaviour (the registry
+    contract), which makes the resolved name a sound cache key.
+    """
+    return "*".join(f"{functions[func].name}({attr})" for attr, func in product)
 
 
 def _product_column(
@@ -252,13 +267,16 @@ class GroupEnvironment:
             func = functions.get(func_name)
             if func is None:
                 raise PlanError(f"no runtime function registered for {func_name!r}")
+            # cache signature by the *bound* function's name, not the plan
+            # slot name — see _product_signature for why (constant rebinding)
             self.farrs[(level, attr, func_name)] = trie.level_function_values(
-                level, f"{func_name}({attr})", func
+                level, f"{func.name}({attr})", func
             )
         self.psums: dict[tuple, list] = {}
         for product in plan.row_products:
             self.psums[product] = trie.prefix_sum_list(
-                _product_signature(product), _product_column(product, functions)
+                _product_signature(product, functions),
+                _product_column(product, functions),
             )
         if bindings is None:
             bindings = prepare_python_bindings(plan, view_data, view_group_by)

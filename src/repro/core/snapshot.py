@@ -1,0 +1,134 @@
+"""Immutable, versioned database snapshots — the engine's MVCC spine.
+
+The serving story of the ROADMAP needs queries and maintenance to overlap:
+a read must never observe a half-applied delta, and a writer must never
+wait for in-flight reads to drain. Both fall out of one discipline, the
+same one distributed aggregation engines use to separate the cached plan
+from the per-request data pass: **all trie/relation state a run touches is
+reached through a single immutable :class:`Snapshot` object**, pinned once
+at the start of the run.
+
+* A :class:`Snapshot` is a frozen pair ``(version, database)`` plus the
+  memo table of trie indexes built over that database. Nothing in it is
+  ever mutated after publication — the trie table only *gains* entries,
+  and every entry is itself immutable once inserted (the benign-race memo
+  pattern: two threads may build the same index concurrently; either
+  result is correct and one wins the dict slot).
+* Writers (:meth:`repro.incremental.MaintainedBatch.apply`, or
+  :meth:`repro.serve.AggregateServer.apply`) build the **next** snapshot
+  off to the side with :meth:`Snapshot.with_relations` — structurally
+  sharing every unchanged relation and every unchanged node's tries — and
+  publish it through :meth:`SnapshotStore.install`, a single atomic
+  reference swap.
+* Readers pin :meth:`SnapshotStore.current` once and never look again;
+  a concurrently installed version is simply invisible to them.
+
+Versions are dense integers starting at 0 (the construction-time
+database). :meth:`SnapshotStore.install` only accepts the direct successor
+of the current version, so lost updates from two concurrent writer
+lineages surface as a hard :class:`~repro.util.errors.PlanError` instead
+of silently dropping one writer's delta. See ``docs/serving.md`` for the
+full concurrency contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.data.catalog import Database
+from repro.data.relation import Relation
+from repro.util.errors import PlanError
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable version of the database plus its trie memo table.
+
+    Attributes
+    ----------
+    version:
+        Dense version counter; 0 is the engine's construction-time state.
+    db:
+        The :class:`~repro.data.catalog.Database` of this version. Never
+        mutated — updates produce a new database via
+        :meth:`~repro.data.catalog.Database.with_relation`.
+    tries:
+        Memo table ``(node, order, filter signatures) → TrieIndex`` (the
+        key is defined once, in :func:`repro.core.runtime.node_trie`).
+        Insert-only; entries are immutable indexes over ``db``, so
+        concurrent readers may populate it racily without locking.
+    """
+
+    version: int
+    db: Database
+    tries: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def with_relations(self, updated: Mapping[str, Relation]) -> "Snapshot":
+        """The successor snapshot with the given relations replaced.
+
+        Structural sharing on both axes: unchanged relations are carried
+        by reference into the new database, and the trie memo is seeded
+        with every entry whose node is *not* in ``updated`` — the
+        partitioned-rebuild guarantee that an update to one join-tree
+        node leaves every other node's indexes warm.
+        """
+        db = self.db
+        for relation in updated.values():
+            db = db.with_relation(relation)
+        tries = {k: v for k, v in self.tries.items() if k[0] not in updated}
+        return Snapshot(version=self.version + 1, db=db, tries=tries)
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot(version={self.version}, db={self.db.name!r}, "
+            f"tries={len(self.tries)})"
+        )
+
+
+class SnapshotStore:
+    """The atomically swappable "current version" cell of one engine.
+
+    Reads (:meth:`current`) are lock-free — a single attribute load, atomic
+    under the GIL. Writes (:meth:`install`) serialise on an internal lock
+    and enforce the single-lineage rule: the incoming snapshot must be the
+    direct successor of the current one. A conflict means two writers
+    built successors of the same base concurrently (e.g. two maintained
+    handles on one engine, or a handle racing
+    :meth:`repro.serve.AggregateServer.apply`); the second install raises
+    rather than silently discarding the first writer's delta.
+    """
+
+    def __init__(self, initial: Snapshot) -> None:
+        self._current = initial
+        self._lock = threading.Lock()
+
+    def current(self) -> Snapshot:
+        """The latest installed snapshot (lock-free, never blocks)."""
+        return self._current
+
+    @property
+    def version(self) -> int:
+        return self._current.version
+
+    def install(self, snapshot: Snapshot) -> Snapshot:
+        """Publish ``snapshot`` as the current version.
+
+        Raises :class:`~repro.util.errors.PlanError` unless
+        ``snapshot.version == current.version + 1`` — the stale-writer
+        conflict described in the class docstring. Returns the installed
+        snapshot for chaining.
+        """
+        with self._lock:
+            expected = self._current.version + 1
+            if snapshot.version != expected:
+                raise PlanError(
+                    f"snapshot version conflict: cannot install version "
+                    f"{snapshot.version} over current version "
+                    f"{self._current.version}; another writer advanced this "
+                    f"engine first (one maintenance lineage per engine — "
+                    f"see docs/serving.md)"
+                )
+            self._current = snapshot
+            return snapshot

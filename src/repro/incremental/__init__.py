@@ -12,6 +12,11 @@ alive across data changes instead of recomputing it:
   returned by :meth:`repro.core.engine.LMFAO.maintain`, scheduling numeric
   O(|Δ|) delta steps and full-trie rescans over the dirty path only.
 
+Every apply round builds an immutable successor version (a new
+:class:`~repro.core.snapshot.Snapshot` plus copy-on-write stores) and
+installs it atomically into the owning engine, so concurrent queries are
+snapshot-isolated from maintenance — see ``docs/serving.md``.
+
 Typical use::
 
     engine = LMFAO(db)

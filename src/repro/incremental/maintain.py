@@ -30,12 +30,29 @@ rescan; the maintained state stays bit-for-bit equal to recomputation), or
 *before any state is touched* rather than silently falling back — for
 tests and benchmarks that must not lose the O(|Δ|) path; downstream
 propagation rescans are part of the numeric design and remain allowed).
+
+**Snapshot isolation.** Every apply round builds a complete *successor
+version* off to the side — a new :class:`~repro.core.snapshot.Snapshot`
+(structurally sharing unchanged relations and tries) plus copy-on-write
+view/query stores (untouched artifacts are carried by reference, numeric
+merges copy only the dicts and value lists they update) — and publishes it
+in two atomic reference swaps: the snapshot is installed into the owning
+engine's :class:`~repro.core.snapshot.SnapshotStore` (so subsequent
+:meth:`~repro.core.engine.LMFAO.run` calls see the new data, while
+in-flight runs keep the version they pinned), then the handle's own state
+pointer flips. Readers of :attr:`results` / :meth:`view_contents` therefore
+always observe one complete version — never a half-applied delta — and an
+apply that fails anywhere leaves both the handle and the engine exactly as
+they were. One maintenance lineage per engine: a second concurrent writer
+(another handle, or :meth:`repro.serve.AggregateServer.apply`) surfaces as
+a version-conflict :class:`~repro.util.errors.PlanError` instead of a lost
+update. The full contract is in ``docs/serving.md``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.engine import CompiledBatch, LMFAO, RunResult, _to_query_result
 from repro.core.runtime import (
@@ -47,9 +64,10 @@ from repro.core.runtime import (
     node_trie,
     partition_tries,
 )
+from repro.core.snapshot import Snapshot
 from repro.data.catalog import Database
 from repro.data.trie import TrieIndex
-from repro.incremental.delta import RelationDelta, normalize_deltas
+from repro.incremental.delta import RelationDelta, stage_deltas
 from repro.incremental.rules import DeltaRules
 from repro.query.query import QueryResult
 from repro.util.errors import PlanError
@@ -61,7 +79,7 @@ _MODES = ("auto", "numeric", "rescan")
 class ApplyResult:
     """Outcome of one apply round: refreshed results plus maintenance stats."""
 
-    #: all query results, refreshed in place (shared with the handle).
+    #: all query results of the *new* version (what the handle now serves).
     results: dict[str, QueryResult]
     #: queries whose groups actually changed this round.
     refreshed_queries: tuple[str, ...]
@@ -75,9 +93,27 @@ class ApplyResult:
     #: groups skipped entirely — off the dirty path or cut off.
     groups_skipped: int
     seconds: float
+    #: the snapshot version this round installed (unchanged on empty deltas).
+    version: int = 0
 
     def __getitem__(self, query_name: str) -> QueryResult:
         return self.results[query_name]
+
+
+@dataclass(frozen=True)
+class _MaintainedVersion:
+    """One immutable version of a handle's full maintained state.
+
+    The snapshot carries the relations and trie memo; the stores carry
+    every view's contents and every query's raw groups over exactly that
+    snapshot. Versions share untouched artifacts structurally — an apply
+    copies only what it refreshes.
+    """
+
+    snapshot: Snapshot
+    view_data: dict[str, dict] = field(repr=False)
+    query_raw: dict[str, dict] = field(repr=False)
+    results: dict[str, QueryResult] = field(repr=False)
 
 
 class MaintainedBatch:
@@ -92,43 +128,66 @@ class MaintainedBatch:
             )
         self.compiled = compiled
         self.config = engine.config
-        self.db: Database = engine.db
         self.rules = DeltaRules.from_compiled(compiled)
         self.applies = 0
+        self._engine = engine
         self._view_group_by = {
             name: view.group_by for name, view in compiled.view_plan.views.items()
         }
-        # Seed from the engine's cache (shared immutable indexes), but never
-        # write back: invalidation on update is local to this handle.
-        self._tries: dict[tuple, TrieIndex] = dict(engine._trie_cache)
-        self._view_data: dict[str, dict] = {}
-        self._query_raw: dict[str, dict] = {}
-        self._results: dict[str, QueryResult] = {}
+        # Pin the engine's current snapshot. Its trie memo is *shared* (the
+        # memo only gains immutable entries, so warming it here warms the
+        # engine's runs too); successor versions built by apply() share
+        # every unchanged node's tries structurally.
+        snapshot = engine.snapshot()
+        view_data: dict[str, dict] = {}
+        query_raw: dict[str, dict] = {}
         for index in compiled.execution_order:
-            self._store_outputs(index, self._run_full(index), None)
-        self._refresh_results(set(q.name for q in compiled.batch))
+            self._adopt_outputs(
+                index, self._run_full(index, snapshot, view_data),
+                view_data, query_raw,
+            )
+        results = {
+            query.name: _to_query_result(query, query_raw[query.name])
+            for query in compiled.batch
+        }
+        self._state = _MaintainedVersion(snapshot, view_data, query_raw, results)
         self._debug_check_stores()
 
     # ---------------------------------------------------------------- accessors
     @property
     def results(self) -> dict[str, QueryResult]:
-        """Current (maintained) results, keyed by query name."""
-        return self._results
+        """Current (maintained) results, keyed by query name.
+
+        Reading this property pins one complete version: the returned dict
+        belongs to the latest installed :class:`_MaintainedVersion` and is
+        never mutated by later applies (they install fresh dicts).
+        """
+        return self._state.results
 
     def result(self, query_name: str) -> QueryResult:
-        return self._results[query_name]
+        return self._state.results[query_name]
 
     def __getitem__(self, query_name: str) -> QueryResult:
-        return self._results[query_name]
+        return self._state.results[query_name]
 
     @property
     def database(self) -> Database:
-        """The current database snapshot (original plus all applied deltas)."""
-        return self.db
+        """The current database version (original plus all applied deltas)."""
+        return self._state.snapshot.db
+
+    @property
+    def db(self) -> Database:
+        """Alias of :attr:`database` (parity with ``LMFAO.db``)."""
+        return self._state.snapshot.db
+
+    @property
+    def version(self) -> int:
+        """The snapshot version the handle currently serves."""
+        return self._state.snapshot.version
 
     def view_contents(self, view_name: str) -> dict:
         """Maintained contents of one internal view (inspection/testing)."""
-        return self._view_data[view_name]
+        return self._state.view_data[view_name]
 
     def recompute(self) -> "RunResult":
         """From-scratch run over the current database — the oracle baseline.
@@ -136,7 +195,7 @@ class MaintainedBatch:
         Builds a fresh engine (cold tries, recompilation) so the comparison
         in benchmarks and differential tests is honest.
         """
-        fresh = LMFAO(self.db, self.config)
+        fresh = LMFAO(self._state.snapshot.db, self.config)
         return fresh.run(self.compiled.batch)
 
     # -------------------------------------------------------------------- apply
@@ -146,10 +205,18 @@ class MaintainedBatch:
         ``inserts`` / ``deletes`` map relation names to tuples to add /
         remove — each value a :class:`Relation`, a row sequence, a column
         mapping, or (deletes only) a boolean mask over the current
-        instance. Returns the refreshed results plus per-round stats.
+        instance. Builds the successor version off to the side and installs
+        it atomically (into the owning engine first, then the handle);
+        returns the new version's results plus per-round stats.
         """
         start = time.perf_counter()
-        deltas = normalize_deltas(self.db, inserts, deletes)
+        state = self._state
+        # stage_deltas normalises and stages every relation update before
+        # this method commits anything: a delta that fails to apply (e.g.
+        # deleting an absent tuple) must leave the handle's state —
+        # database, tries, views — completely untouched. The numeric-mode
+        # check runs on the normalised deltas, likewise pre-commit.
+        deltas, staged = stage_deltas(state.snapshot.db, inserts, deletes)
         if self.config.incremental_mode == "numeric":
             for name, delta in deltas.items():
                 if not delta.insert_only:
@@ -157,54 +224,72 @@ class MaintainedBatch:
                         f"incremental_mode='numeric' cannot maintain deletes "
                         f"(delta for {name}); use 'auto' or 'rescan'"
                     )
-        # Stage every relation update before committing any: a delta that
-        # fails to apply (e.g. deleting an absent tuple) must leave the
-        # handle's state — database, tries, views — completely untouched.
-        staged = [
-            (name, delta, delta.apply_to(self.db.relation(name)))
-            for name, delta in deltas.items()
-        ]
-        changed: dict[str, RelationDelta] = {}
-        for name, delta, updated in staged:
-            self.db = self.db.with_relation(updated)
-            self._invalidate_node(name)
-            changed[name] = delta
+        changed: dict[str, RelationDelta] = dict(deltas)
+
+        if not changed:
+            self.applies += 1
+            return ApplyResult(
+                results=state.results,
+                refreshed_queries=(),
+                refreshed_views=(),
+                relations_changed=(),
+                groups_numeric=0,
+                groups_rescanned=0,
+                groups_skipped=0,
+                seconds=time.perf_counter() - start,
+                version=state.snapshot.version,
+            )
+
+        # ---- build the successor version off to the side (copy-on-write)
+        snapshot = state.snapshot.with_relations(staged)
+        view_data = dict(state.view_data)
+        query_raw = dict(state.query_raw)
 
         numeric = rescanned = skipped = 0
         changed_views: set[str] = set()
         refreshed_views: set[str] = set()
         dirty_queries: set[str] = set()
-        if changed:
-            for index in self.compiled.execution_order:
-                plan = self.compiled.plans[index]
-                node_delta = changed.get(plan.node)
-                upstream_dirty = any(
-                    v in changed_views for v in plan.consumed_views
+        for index in self.compiled.execution_order:
+            plan = self.compiled.plans[index]
+            node_delta = changed.get(plan.node)
+            upstream_dirty = any(v in changed_views for v in plan.consumed_views)
+            if node_delta is None and not upstream_dirty:
+                skipped += 1
+                continue
+            if self._numeric_applicable(node_delta, upstream_dirty):
+                outputs = self._run_delta(index, node_delta, view_data)
+                merge = self._merge_delta_outputs
+                numeric += 1
+            else:
+                outputs = self._run_full(index, snapshot, view_data)
+                merge = None
+                rescanned += 1
+            self._adopt_outputs(
+                index,
+                outputs,
+                view_data,
+                query_raw,
+                merge=merge,
+                changed_views=changed_views,
+                refreshed_views=refreshed_views,
+                dirty_queries=dirty_queries,
+            )
+        results = dict(state.results)
+        for query in self.compiled.batch:
+            if query.name in dirty_queries:
+                results[query.name] = _to_query_result(
+                    query, query_raw[query.name]
                 )
-                if node_delta is None and not upstream_dirty:
-                    skipped += 1
-                    continue
-                if self._numeric_applicable(node_delta, upstream_dirty):
-                    outputs = self._run_delta(index, node_delta)
-                    merge = self._merge_delta_outputs
-                    numeric += 1
-                else:
-                    outputs = self._run_full(index)
-                    merge = None
-                    rescanned += 1
-                self._store_outputs(
-                    index,
-                    outputs,
-                    merge,
-                    changed_views=changed_views,
-                    refreshed_views=refreshed_views,
-                    dirty_queries=dirty_queries,
-                )
-            self._refresh_results(dirty_queries)
+        new_state = _MaintainedVersion(snapshot, view_data, query_raw, results)
+
+        # ---- publish: engine first (version conflicts abort the whole
+        # apply with the handle untouched), then the handle's own pointer
+        self._engine._snapshots.install(snapshot)
+        self._state = new_state
         self.applies += 1
         self._debug_check_stores()
         return ApplyResult(
-            results=self._results,
+            results=results,
             refreshed_queries=tuple(sorted(dirty_queries)),
             refreshed_views=tuple(sorted(refreshed_views)),
             relations_changed=tuple(sorted(changed)),
@@ -212,6 +297,7 @@ class MaintainedBatch:
             groups_rescanned=rescanned,
             groups_skipped=skipped,
             seconds=time.perf_counter() - start,
+            version=snapshot.version,
         )
 
     # ----------------------------------------------------------- group execution
@@ -226,13 +312,20 @@ class MaintainedBatch:
             and not upstream_dirty
         )
 
-    def _run_full(self, index: int) -> dict[str, dict]:
+    def _run_full(
+        self, index: int, snapshot: Snapshot, view_data: dict
+    ) -> dict[str, dict]:
         """Re-execute one group over the full (cached) trie of its node."""
         plan = self.compiled.plans[index]
-        trie = self._trie(plan.node, plan.order)
-        return self._execute(index, trie)
+        trie = node_trie(
+            snapshot.db, plan.node, plan.order,
+            self.compiled.shared_predicates, snapshot.tries,
+        )
+        return self._execute(index, trie, view_data)
 
-    def _run_delta(self, index: int, delta: RelationDelta) -> dict[str, dict]:
+    def _run_delta(
+        self, index: int, delta: RelationDelta, view_data: dict
+    ) -> dict[str, dict]:
         """The numeric step: the same compiled code over the inserted tuples.
 
         Every emitted slot is ``Σ over node rows`` of a product that does
@@ -245,9 +338,9 @@ class MaintainedBatch:
         plan = self.compiled.plans[index]
         relation = self._filter_shared(delta.inserts)
         trie = TrieIndex(relation, plan.order)
-        return self._execute(index, trie)
+        return self._execute(index, trie, view_data)
 
-    def _execute(self, index: int, trie: TrieIndex) -> dict[str, dict]:
+    def _execute(self, index: int, trie: TrieIndex, view_data: dict) -> dict[str, dict]:
         """Drive one group through the engine's partitioned execution path.
 
         Under a partitioned configuration the maintainer splits and merges
@@ -255,6 +348,8 @@ class MaintainedBatch:
         order), so a rescan stays bit-identical to a from-scratch run with
         the same :class:`EngineConfig`. Delta tries are usually smaller
         than ``parallel_threshold`` and take the single-partition path.
+        ``view_data`` is the successor version's store being built: a
+        downstream group reads its upstream views refreshed-this-round.
         """
         compiled = self.compiled
         plan = compiled.plans[index]
@@ -267,30 +362,37 @@ class MaintainedBatch:
             native,
             plan,
             tries,
-            self._view_data,
+            view_data,
             self._view_group_by,
             compiled.functions,
         )
 
-    def _store_outputs(
+    def _adopt_outputs(
         self,
         index: int,
         outputs: dict[str, dict],
-        merge,
+        view_data: dict[str, dict],
+        query_raw: dict[str, dict],
+        merge=None,
         changed_views: set[str] | None = None,
         refreshed_views: set[str] | None = None,
         dirty_queries: set[str] | None = None,
     ) -> None:
-        """Adopt (rescan) or add (numeric) one group's outputs; track diffs."""
+        """Adopt (rescan) or add (numeric) one group's outputs; track diffs.
+
+        Writes only into the successor version's stores (``view_data`` /
+        ``query_raw``); the previous version's dicts and value lists are
+        never touched — numeric merges go through the copy-on-write
+        :meth:`_merge_delta_outputs`.
+        """
         cutoff = self.config.incremental_cutoff
         for emission in self.compiled.plans[index].emissions:
             is_view = emission.kind == "view"
-            store = self._view_data if is_view else self._query_raw
+            store = view_data if is_view else query_raw
             name = emission.artifact
             if merge is not None:
-                # columnar invalidation lives inside the merge helper —
-                # the one place that mutates stored aggregate lists.
-                artifact_changed = merge(store[name], outputs[name])
+                merged, artifact_changed = merge(store[name], outputs[name])
+                store[name] = merged
             else:
                 old = store.get(name)
                 new = outputs[name]
@@ -307,37 +409,45 @@ class MaintainedBatch:
                 dirty_queries.add(name)
 
     @staticmethod
-    def _merge_delta_outputs(target: dict, delta: dict) -> bool:
-        """``target += delta`` per key and slot; True when anything changed.
+    def _merge_delta_outputs(target: dict, delta: dict) -> tuple[dict, bool]:
+        """A merged copy ``target + delta`` per key and slot (copy-on-write).
+
+        Returns ``(merged, changed)``. ``target`` — the *previous*
+        version's artifact — is never mutated, and neither are its stored
+        value lists: the merge shallow-copies the key table and copies a
+        value list the first time a slot of it changes, so readers holding
+        the previous version keep a coherent artifact (including any
+        columnar :class:`ArrayViewData` state, which stays valid precisely
+        because nothing writes through it). The merged result is a plain
+        dict — whatever columnar mirror the old version carried does not
+        describe the new contents.
 
         A new key is a change even with all-zero values: the inserted rows
         give it join support, so a from-scratch run would emit it too.
-
-        The per-key ``+=`` below writes *through* stored aggregate lists,
-        which dict-method interception cannot see — so a NumPy-backend
-        ``target`` (an :class:`ArrayViewData` mirroring its contents in
-        columnar arrays) must be invalidated here, where the mutation
-        happens, not by each caller remembering to. The ``delta`` side is
-        never mutated (first-seen value lists are copied), so a columnar
-        delta source stays internally consistent; ``LMFAO_DEBUG`` asserts
-        both facts after the merge.
         """
-        if isinstance(target, ArrayViewData):
-            target.drop_columnar()
+        merged: dict = dict(target)
         changed = False
         for key, values in delta.items():
-            current = target.get(key)
+            current = merged.get(key)
             if current is None:
-                target[key] = list(values)
+                merged[key] = list(values)
                 changed = True
                 continue
+            updated = None
             for slot, value in enumerate(values):
                 if value != 0.0:
-                    current[slot] += value
+                    if updated is None:
+                        updated = list(current)
+                    updated[slot] += value
                     changed = True
-        if debug_checks_enabled() and isinstance(delta, ArrayViewData):
-            delta.check_consistent()  # the merge must leave sources unscathed
-        return changed
+            if updated is not None:
+                merged[key] = updated
+        if debug_checks_enabled():
+            # the merge must leave both sources unscathed
+            for source in (target, delta):
+                if isinstance(source, ArrayViewData):
+                    source.check_consistent()
+        return merged, changed
 
     def _debug_check_stores(self) -> None:
         """Under ``LMFAO_DEBUG``: no maintained dict may carry stale arrays.
@@ -345,31 +455,18 @@ class MaintainedBatch:
         Walks every stored view and raw query output after a round and
         asserts columnar state (if any) still mirrors the dict contents —
         the incremental path's end-to-end guard against a mutation that
-        slipped past :meth:`_merge_delta_outputs`'s invalidation.
+        slipped past the copy-on-write discipline of
+        :meth:`_merge_delta_outputs`.
         """
         if not debug_checks_enabled():
             return
-        for store in (self._view_data, self._query_raw):
+        state = self._state
+        for store in (state.view_data, state.query_raw):
             for data in store.values():
                 if isinstance(data, ArrayViewData):
                     data.check_consistent()
 
-    def _refresh_results(self, query_names: set[str]) -> None:
-        for query in self.compiled.batch:
-            if query.name in query_names:
-                self._results[query.name] = _to_query_result(
-                    query, self._query_raw[query.name]
-                )
-
-    # ------------------------------------------------------------------- tries
-    def _invalidate_node(self, node: str) -> None:
-        self._tries = {k: v for k, v in self._tries.items() if k[0] != node}
-
-    def _trie(self, node: str, order: tuple[str, ...]) -> TrieIndex:
-        return node_trie(
-            self.db, node, order, self.compiled.shared_predicates, self._tries
-        )
-
+    # ------------------------------------------------------------------- helpers
     def _filter_shared(self, relation):
         """Apply node-local pushed-down predicates to a delta relation."""
         return apply_predicates(
@@ -383,5 +480,5 @@ class MaintainedBatch:
         return (
             f"MaintainedBatch(queries={len(self.compiled.batch)}, "
             f"views={self.compiled.num_views}, groups={self.compiled.num_groups}, "
-            f"applies={self.applies})"
+            f"applies={self.applies}, version={self.version})"
         )

@@ -1,0 +1,26 @@
+"""The compile-once serving layer: plan cache, snapshots, async front.
+
+The fifth layer of the stack (viewgen → groups → plans → backends →
+**serving**): :class:`AggregateServer` amortises one optimisation pass
+over many requests via a structural plan cache with per-request constant
+rebinding, serves queries and maintenance concurrently through immutable
+versioned snapshots, and exposes an async ``submit`` front that coalesces
+identical in-flight requests. See ``docs/serving.md``.
+"""
+
+from repro.core.snapshot import Snapshot, SnapshotStore
+from repro.serve.fingerprint import BatchFingerprint, batch_fingerprint, bind_batch
+from repro.serve.plancache import CacheStats, PlanCache
+from repro.serve.server import AggregateServer, ServerStats
+
+__all__ = [
+    "AggregateServer",
+    "BatchFingerprint",
+    "CacheStats",
+    "PlanCache",
+    "ServerStats",
+    "Snapshot",
+    "SnapshotStore",
+    "batch_fingerprint",
+    "bind_batch",
+]

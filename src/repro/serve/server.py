@@ -1,0 +1,281 @@
+"""The compile-once serving front: plan cache + snapshots + async submission.
+
+:class:`AggregateServer` wraps one :class:`~repro.core.engine.LMFAO`
+engine for serving heavy concurrent traffic:
+
+* **structural plan cache** — every request is fingerprinted
+  (:func:`~repro.serve.fingerprint.batch_fingerprint`); structurally
+  identical batches reuse one :class:`~repro.core.engine.CompiledBatch`
+  with predicate constants re-bound at execution
+  (:func:`~repro.serve.fingerprint.bind_batch`), LRU-bounded with hit/miss
+  stats (:class:`~repro.serve.plancache.PlanCache`);
+* **snapshot-isolated run/maintain** — reads pin the engine's current
+  :class:`~repro.core.snapshot.Snapshot` and never block behind writers;
+  :meth:`apply` (base-relation updates) and
+  :meth:`maintain` handles (incrementally maintained results) install
+  successor versions atomically;
+* **async submission** — :meth:`submit` returns a
+  :class:`concurrent.futures.Future` over a shared worker pool, and
+  identical in-flight requests (same fingerprint, same constants, same
+  snapshot version) **coalesce** onto one future: a thundering herd of
+  the same dashboard query costs one execution.
+
+Examples
+--------
+Structurally identical batches compile once; changed constants re-bind::
+
+    >>> from repro.data import favorita
+    >>> from repro.query import QueryBatch, parse_query
+    >>> server = AggregateServer(favorita(scale=0.02, seed=7))
+    >>> cold = server.run(QueryBatch(
+    ...     [parse_query("SELECT SUM(units) FROM D WHERE units <= 3", "Q")]))
+    >>> warm = server.run(QueryBatch(
+    ...     [parse_query("SELECT SUM(units) FROM D WHERE units <= 7", "Q")]))
+    >>> stats = server.stats()
+    >>> (stats.plan_cache.misses, stats.plan_cache.hits)
+    (1, 1)
+    >>> "compile" in cold.timings, "compile" in warm.timings
+    (True, False)
+
+Async submission — futures over a shared pool, snapshot pinned at
+submission time (identical in-flight requests additionally coalesce
+onto one future; see :meth:`AggregateServer.submit`)::
+
+    >>> batch = QueryBatch([parse_query("SELECT SUM(units) FROM D", "S")])
+    >>> futures = [server.submit(batch) for _ in range(4)]
+    >>> len({f.result()["S"].scalar() for f in futures})
+    1
+    >>> server.close()
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.engine import EngineConfig, LMFAO, RunResult
+from repro.data.catalog import Database
+from repro.incremental.delta import stage_deltas
+from repro.incremental.maintain import MaintainedBatch
+from repro.query.batch import QueryBatch
+from repro.serve.fingerprint import (
+    BatchFingerprint,
+    Constant,
+    batch_fingerprint,
+    bind_batch,
+)
+from repro.serve.plancache import CacheStats, PlanCache
+from repro.util.errors import PlanError
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Point-in-time serving counters.
+
+    ``plan_cache`` — the structural cache's hit/miss/eviction counters;
+    ``submitted`` — futures actually launched by :meth:`AggregateServer.submit`;
+    ``coalesced`` — submissions absorbed by an identical in-flight future;
+    ``inflight`` — submissions currently executing or queued;
+    ``snapshot_version`` — the engine's current data version.
+    """
+
+    plan_cache: CacheStats
+    submitted: int = 0
+    coalesced: int = 0
+    inflight: int = 0
+    snapshot_version: int = 0
+
+
+class AggregateServer:
+    """One process serving aggregate batches and updates concurrently.
+
+    Construct once per database; call from any number of threads. The
+    full concurrency contract (what a ``run`` observes while an ``apply``
+    is in flight, and why there is exactly one maintenance lineage per
+    server) is documented in ``docs/serving.md``.
+
+    Parameters
+    ----------
+    db:
+        The database to serve (becomes snapshot version 0).
+    config:
+        Engine configuration; enters every plan fingerprint.
+    plan_cache_capacity:
+        LRU bound on distinct batch structures kept compiled (default 32).
+    request_workers:
+        Threads executing :meth:`submit` futures (default 4). :meth:`run`
+        executes on the caller's thread and does not use the pool.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        config: EngineConfig | None = None,
+        *,
+        plan_cache_capacity: int = 32,
+        request_workers: int = 4,
+    ) -> None:
+        if not isinstance(request_workers, int) or request_workers < 1:
+            raise PlanError(
+                f"AggregateServer request_workers must be an integer >= 1, "
+                f"got {request_workers!r}"
+            )
+        self.engine = LMFAO(db, config)
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self._pool = ThreadPoolExecutor(
+            max_workers=request_workers, thread_name_prefix="lmfao-serve"
+        )
+        self._inflight: dict[tuple, Future] = {}
+        self._lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._submitted = 0
+        self._coalesced = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ queries
+    def run(self, batch: QueryBatch) -> RunResult:
+        """Execute a batch synchronously against the current snapshot.
+
+        Pins the snapshot first, then resolves the plan: a structural
+        cache hit skips compilation entirely (``"compile"`` is absent
+        from the result's timings) and re-binds the request's constants;
+        a miss compiles and populates the cache. Safe from any thread.
+        """
+        snapshot = self.engine.snapshot()
+        fingerprint, _ = batch_fingerprint(batch, self.engine.tree, self.engine.config)
+        return self._execute_pinned(batch, fingerprint, snapshot)
+
+    def submit(self, batch: QueryBatch) -> "Future[RunResult]":
+        """Execute a batch asynchronously; returns an awaitable future.
+
+        The snapshot is pinned at *submission* time — the future's result
+        reflects the data version current when ``submit`` was called,
+        regardless of maintenance applied while it waited in the queue.
+        Identical in-flight requests — same structure, same constants,
+        same snapshot version — coalesce onto one future (the request is
+        executed once; every submitter gets the same ``RunResult``).
+        """
+        snapshot = self.engine.snapshot()
+        fingerprint, constants = batch_fingerprint(
+            batch, self.engine.tree, self.engine.config
+        )
+        key = (fingerprint, constants, snapshot.version)
+        with self._lock:
+            # checked under the lock: a close() racing this submit either
+            # ran before (we raise) or runs after (shutdown(wait=True)
+            # drains the future we just scheduled)
+            if self._closed:
+                raise PlanError("AggregateServer is closed")
+            future = self._inflight.get(key)
+            if future is not None:
+                self._coalesced += 1
+                return future
+            future = self._pool.submit(
+                self._execute_pinned, batch, fingerprint, snapshot
+            )
+            self._submitted += 1
+            self._inflight[key] = future
+        # registered OUTSIDE the lock: a future that completed already runs
+        # its callback synchronously here, and _forget takes the same lock
+        future.add_done_callback(lambda _f, _k=key: self._forget(_k))
+        return future
+
+    def _forget(self, key: tuple) -> None:
+        with self._lock:
+            self._inflight.pop(key, None)
+
+    def _execute_pinned(
+        self, batch: QueryBatch, fingerprint: BatchFingerprint, snapshot
+    ) -> RunResult:
+        """Resolve the plan (cache or compile) and execute on ``snapshot``."""
+        compiled = self.plan_cache.get(fingerprint)
+        if compiled is None:
+            # Two racing first requests may both compile; both results are
+            # correct and the cache keeps the last one (see PlanCache.put).
+            from repro.util.timer import Stopwatch
+
+            watch = Stopwatch()
+            with watch.lap("compile"):
+                compiled = self.engine.compile(batch, snapshot=snapshot)
+            self.plan_cache.put(fingerprint, compiled)
+            return self.engine.execute(compiled, watch=watch, snapshot=snapshot)
+        binding = bind_batch(compiled, batch)
+        return self.engine.execute(compiled, snapshot=snapshot, binding=binding)
+
+    # ------------------------------------------------------------------ updates
+    def apply(self, inserts=None, deletes=None) -> int:
+        """Apply base-relation updates; returns the new snapshot version.
+
+        Builds the successor snapshot off to the side (unchanged
+        relations and tries shared structurally) and installs it
+        atomically: queries pinned before the install keep their version,
+        queries arriving after see the new one — never a half-applied
+        delta. Plan-cache entries stay valid (they are pure structure).
+        Empty deltas return the current version unchanged.
+
+        Writers serialise on the server's write lock. Do not mix with a
+        :meth:`maintain` handle's own ``apply`` — one maintenance lineage
+        per engine (a conflicting writer raises
+        :class:`~repro.util.errors.PlanError`, see
+        :class:`~repro.core.snapshot.SnapshotStore`).
+        """
+        with self._write_lock:
+            snapshot = self.engine.snapshot()
+            _, staged = stage_deltas(snapshot.db, inserts, deletes)
+            if not staged:
+                return snapshot.version
+            successor = snapshot.with_relations(staged)
+            self.engine._snapshots.install(successor)
+            return successor.version
+
+    def maintain(self, batch: QueryBatch) -> MaintainedBatch:
+        """Compile a batch once and keep its results incrementally maintained.
+
+        The handle's ``apply(inserts=..., deletes=...)`` refreshes its
+        materialised results at delta cost **and** installs the successor
+        snapshot into this server, so subsequent :meth:`run` /
+        :meth:`submit` calls see the updated data. Use *either* maintained
+        handles *or* :meth:`apply` as the server's single writer lineage.
+        """
+        return self.engine.maintain(batch)
+
+    # ------------------------------------------------------------------- admin
+    @property
+    def version(self) -> int:
+        """The current snapshot version served to new requests."""
+        return self.engine.snapshot().version
+
+    def stats(self) -> ServerStats:
+        """Point-in-time serving counters (see :class:`ServerStats`)."""
+        with self._lock:
+            inflight = len(self._inflight)
+            submitted = self._submitted
+            coalesced = self._coalesced
+        return ServerStats(
+            plan_cache=self.plan_cache.stats(),
+            submitted=submitted,
+            coalesced=coalesced,
+            inflight=inflight,
+            snapshot_version=self.engine.snapshot().version,
+        )
+
+    def close(self) -> None:
+        """Drain the worker pool and reject further submissions."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "AggregateServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"AggregateServer(version={s.snapshot_version}, "
+            f"plans={s.plan_cache.entries}/{s.plan_cache.capacity}, "
+            f"hit_rate={s.plan_cache.hit_rate:.2f}, inflight={s.inflight})"
+        )

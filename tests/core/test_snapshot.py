@@ -1,0 +1,54 @@
+"""Snapshot/SnapshotStore unit semantics: sharing, invalidation, installs."""
+
+import pytest
+
+from repro.core import LMFAO, Snapshot, SnapshotStore
+from repro.util.errors import PlanError
+
+
+def test_with_relations_shares_unchanged_state(favorita_db):
+    engine = LMFAO(favorita_db)
+    base = engine.snapshot()
+    from repro.paper import example_queries
+
+    engine.run(example_queries())  # warm some tries
+    assert base.tries  # the run populated the pinned snapshot's memo
+    sales = favorita_db.relation("Sales")
+    successor = base.with_relations({"Sales": sales.concat(sales.row_slice(0, 1))})
+    assert successor.version == base.version + 1
+    # unchanged relations are the very same objects
+    assert successor.db.relation("Items") is base.db.relation("Items")
+    # Sales tries invalidated, every other node's tries carried over
+    assert all(key[0] != "Sales" for key in successor.tries)
+    kept = {k for k in base.tries if k[0] != "Sales"}
+    assert kept == set(successor.tries)
+    assert all(successor.tries[k] is base.tries[k] for k in kept)
+    # the base snapshot itself is untouched
+    assert base.version == 0
+    assert base.db.relation("Sales") is sales
+
+
+def test_store_requires_direct_successor(favorita_db):
+    engine = LMFAO(favorita_db)
+    store = engine._snapshots
+    base = store.current()
+    v1 = base.with_relations({})
+    store.install(v1)
+    assert store.current() is v1
+    assert engine.snapshot() is v1
+    # installing a successor of the *old* base is a lost-update conflict
+    stale = base.with_relations({})
+    with pytest.raises(PlanError, match="snapshot version conflict"):
+        store.install(stale)
+    # as is skipping a version
+    with pytest.raises(PlanError, match="snapshot version conflict"):
+        store.install(Snapshot(version=5, db=favorita_db))
+    assert store.current() is v1
+
+
+def test_store_reads_are_stable_references(favorita_db):
+    store = SnapshotStore(Snapshot(version=0, db=favorita_db))
+    pinned = store.current()
+    store.install(pinned.with_relations({}))
+    assert pinned.version == 0  # the pin is unaffected by the install
+    assert store.version == 1

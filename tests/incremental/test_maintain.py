@@ -328,27 +328,35 @@ def test_unknown_incremental_mode_rejected(favorita_db):
         engine.maintain(example_queries())
 
 
-def test_merge_delta_outputs_invalidates_columnar_target():
-    """The numeric merge writes through stored aggregate lists — the one
-    mutation ArrayViewData's dict interception cannot see — so it must
-    drop the target's columnar mirror itself (regression: the drop used
-    to live in one caller, so any other path through the merge served
-    stale arrays to downstream columnar consumers)."""
+def test_merge_delta_outputs_is_copy_on_write():
+    """The numeric merge builds the successor version's artifact without
+    touching the previous one: neither the target dict, nor its stored
+    value lists, nor its columnar ArrayViewData mirror may change —
+    readers pinned to the old version keep a coherent artifact while the
+    new version is being built (snapshot isolation). The merged result is
+    a plain dict (the old columnar mirror does not describe it)."""
     from repro.core.runtime import ArrayViewData
 
     target = ArrayViewData.from_arrays(
         [np.array([1, 2])], np.array([[1.0], [2.0]])
     )
+    old_list = target[2]
     delta = ArrayViewData.from_arrays(
         [np.array([2, 3])], np.array([[5.0], [7.0]])
     )
-    assert MaintainedBatch._merge_delta_outputs(target, delta)
-    assert target == {1: [1.0], 2: [7.0], 3: [7.0]}
-    assert not target.has_columns  # fails pre-fix: stale arrays survive
+    merged, changed = MaintainedBatch._merge_delta_outputs(target, delta)
+    assert changed
+    assert merged == {1: [1.0], 2: [7.0], 3: [7.0]}
+    assert not isinstance(merged, ArrayViewData)
+    # the previous version is untouched — dict, lists and arrays alike
+    assert target == {1: [1.0], 2: [2.0]} and target.has_columns
+    assert target[2] is old_list and old_list == [2.0]
     target.check_consistent()
-    # the delta *source* is never mutated: its arrays stay live and valid
+    # the delta *source* is never mutated either: its arrays stay valid
     assert delta == {2: [5.0], 3: [7.0]} and delta.has_columns
     delta.check_consistent()
+    # shared untouched entries are carried by reference (structural sharing)
+    assert merged[1] is target[1]
 
 
 def test_numeric_merge_never_leaks_desynced_arrays(favorita_db, monkeypatch):

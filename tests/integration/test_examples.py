@@ -19,6 +19,7 @@ _EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
         ("demo_walkthrough.py", (0.04,)),
         ("aggregate_cube.py", (0.04,)),
         ("incremental_updates.py", (0.05,)),
+        ("serving_concurrent.py", (0.04, 4, 2)),
     ],
 )
 def test_example_runs(script, args, capsys):

@@ -1,0 +1,275 @@
+"""AggregateServer behaviour: cache reuse, rebinding oracles, futures,
+coalescing, and the snapshot-isolation concurrency contract."""
+
+import threading
+
+import pytest
+
+from repro.core import EngineConfig, LMFAO
+from repro.incremental.delta import normalize_deltas
+from repro.paper import FAVORITA_TREE
+from repro.query import Aggregate, Op, Predicate, Query, QueryBatch
+from repro.serve import AggregateServer
+from repro.util.errors import PlanError
+
+
+def _batch(t_units=3.0, t_item=10.0):
+    return QueryBatch(
+        [
+            Query(
+                "scalar",
+                aggregates=(Aggregate.sum("units"),),
+                where=(Predicate("units", Op.LE, t_units),),
+            ),
+            Query(
+                "by_store",
+                group_by=("store",),
+                aggregates=(Aggregate.sum("units"), Aggregate.count()),
+                where=(
+                    Predicate("units", Op.LE, t_units),
+                    Predicate("item", Op.GE, t_item),
+                ),
+            ),
+            Query(
+                "cross",  # store × class spans Sales and Items → carried plan
+                group_by=("store", "class"),
+                aggregates=(Aggregate.count(),),
+            ),
+        ]
+    )
+
+
+def _groups(run):
+    return {name: result.groups for name, result in run.results.items()}
+
+
+# ----------------------------------------------------------- plan-cache reuse
+def test_repeated_batch_hits_the_cache_and_skips_compile(favorita_db):
+    with AggregateServer(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE)
+    ) as server:
+        cold = server.run(_batch())
+        warm = server.run(_batch())
+        assert "compile" in cold.timings
+        assert "compile" not in warm.timings
+        assert _groups(cold) == _groups(warm)
+        stats = server.stats()
+        assert stats.plan_cache.misses == 1
+        assert stats.plan_cache.hits == 1
+        assert warm.compiled is cold.compiled  # the very same artefacts
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_rebound_constants_match_cold_compile_oracle(favorita_db, backend):
+    """The heart of the cache: a hit with different constants must produce
+    bit-identical results to compiling the request from scratch."""
+    config = EngineConfig(
+        join_tree_edges=FAVORITA_TREE,
+        backend=backend,
+        partitions=2,
+        parallel_threshold=0,
+    )
+    with AggregateServer(favorita_db, config) as server:
+        server.run(_batch(3.0, 10.0))  # populate the cache
+        served = server.run(_batch(7.0, 25.0))  # structural hit, rebind
+        assert server.stats().plan_cache.hits == 1
+        oracle = LMFAO(favorita_db, config).run(_batch(7.0, 25.0))
+        assert _groups(served) == _groups(oracle)
+        # and back again: rebinding must not have poisoned shared caches
+        served_again = server.run(_batch(3.0, 10.0))
+        oracle_first = LMFAO(favorita_db, config).run(_batch(3.0, 10.0))
+        assert _groups(served_again) == _groups(oracle_first)
+
+
+def test_pushed_shared_predicate_constants_rebind(favorita_db):
+    shared = lambda t: (Predicate("units", Op.GT, t),)  # noqa: E731
+
+    def batch(t):
+        return QueryBatch(
+            [
+                Query("total", aggregates=(Aggregate.sum("units"),), where=shared(t)),
+                Query(
+                    "per_store",
+                    group_by=("store",),
+                    aggregates=(Aggregate.count(),),
+                    where=shared(t),
+                ),
+            ]
+        )
+
+    config = EngineConfig(
+        join_tree_edges=FAVORITA_TREE, push_shared_predicates=True
+    )
+    with AggregateServer(favorita_db, config) as server:
+        server.run(batch(2.0))
+        served = server.run(batch(5.0))
+        assert server.stats().plan_cache.hits == 1
+        oracle = LMFAO(favorita_db, config).run(batch(5.0))
+        assert _groups(served) == _groups(oracle)
+
+
+def test_lru_eviction_forces_recompile(favorita_db):
+    def shaped(name):
+        return QueryBatch(
+            [Query(name, group_by=("store",), aggregates=(Aggregate.count(),))]
+        )
+
+    config = EngineConfig(join_tree_edges=FAVORITA_TREE)
+    with AggregateServer(favorita_db, config, plan_cache_capacity=2) as server:
+        for name in ("a", "b", "c"):  # three distinct structures, capacity 2
+            server.run(shaped(name))
+        stats = server.stats()
+        assert stats.plan_cache.misses == 3
+        assert stats.plan_cache.evictions == 1
+        assert "compile" in server.run(shaped("a")).timings  # evicted → miss
+        assert "compile" not in server.run(shaped("c")).timings  # still hot
+
+
+# ------------------------------------------------------------------- futures
+def test_submit_returns_future_with_pinned_version(favorita_db):
+    with AggregateServer(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE)
+    ) as server:
+        future = server.submit(_batch())
+        result = future.result(timeout=60)
+        assert result.snapshot_version == 0
+        assert _groups(result) == _groups(server.run(_batch()))
+
+
+def test_submit_coalesces_identical_inflight_requests(favorita_db):
+    with AggregateServer(
+        favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE)
+    ) as server:
+        gate = threading.Event()
+        real = server._execute_pinned
+
+        def gated(*args, **kwargs):
+            gate.wait(timeout=60)
+            return real(*args, **kwargs)
+
+        server._execute_pinned = gated
+        try:
+            f1 = server.submit(_batch(3.0, 10.0))
+            f2 = server.submit(_batch(3.0, 10.0))  # identical → coalesce
+            f3 = server.submit(_batch(7.0, 10.0))  # same shape, new constant
+        finally:
+            gate.set()
+        assert f1 is f2
+        assert f3 is not f1
+        f1.result(timeout=60), f3.result(timeout=60)
+        stats = server.stats()
+        assert stats.coalesced == 1
+        assert stats.submitted == 2
+        # a completed request never satisfies a later submission
+        f4 = server.submit(_batch(3.0, 10.0))
+        assert f4 is not f1
+        f4.result(timeout=60)
+
+
+def test_closed_server_rejects_submissions(favorita_db):
+    server = AggregateServer(favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    server.close()
+    with pytest.raises(PlanError, match="closed"):
+        server.submit(_batch())
+
+
+# ------------------------------------------------------- snapshot isolation
+def _replay_oracles(db, batch, rounds, config):
+    """Per-version result oracles: replay the deltas sequentially."""
+    oracles = {0: _groups(LMFAO(db, config).run(batch))}
+    current = db
+    for version, (inserts, deletes) in enumerate(rounds, start=1):
+        for name, delta in normalize_deltas(current, inserts, deletes).items():
+            current = current.with_relation(delta.apply_to(current.relation(name)))
+        oracles[version] = _groups(LMFAO(current, config).run(batch))
+    return oracles
+
+
+def test_apply_advances_version_and_pinned_runs_stay_isolated(favorita_db):
+    config = EngineConfig(join_tree_edges=FAVORITA_TREE)
+    batch = _batch()
+    sales = favorita_db.relation("Sales")
+    rounds = [
+        ({"Sales": [sales.row(0)]}, None),
+        ({"Sales": [sales.row(1), sales.row(2)]}, None),
+        (None, {"Sales": [sales.row(0)]}),
+    ]
+    oracles = _replay_oracles(favorita_db, batch, rounds, config)
+    with AggregateServer(favorita_db, config) as server:
+        assert _groups(server.run(batch)) == oracles[0]
+        for expected_version, (inserts, deletes) in enumerate(rounds, start=1):
+            version = server.apply(inserts=inserts, deletes=deletes)
+            assert version == expected_version
+            run = server.run(batch)
+            assert run.snapshot_version == version
+            assert _groups(run) == oracles[version]
+        # empty deltas change nothing, including the version
+        assert server.apply(inserts={"Sales": []}) == len(rounds)
+
+
+def test_concurrent_runs_during_apply_never_see_torn_state(favorita_db):
+    """The regression the snapshot layer exists for: readers hammer run()
+    while a maintained writer applies deltas; every result must equal the
+    sequential oracle of the exact version it reports having pinned."""
+    config = EngineConfig(join_tree_edges=FAVORITA_TREE)
+    batch = _batch()
+    sales = favorita_db.relation("Sales")
+    rounds = [({"Sales": [sales.row(i), sales.row(i + 1)]}, None) for i in range(6)]
+    oracles = _replay_oracles(favorita_db, batch, rounds, config)
+
+    with AggregateServer(favorita_db, config) as server:
+        handle = server.maintain(batch)
+        server.run(batch)  # warm the plan cache
+        writer_done = threading.Event()
+        observations: list[tuple[int, dict]] = []
+        failures: list[BaseException] = []
+
+        def reader():
+            try:
+                while not writer_done.is_set():
+                    run = server.run(batch)
+                    observations.append((run.snapshot_version, _groups(run)))
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for inserts, deletes in rounds:
+                outcome = handle.apply(inserts=inserts, deletes=deletes)
+                # the handle's own view of the new version matches its oracle
+                assert {
+                    name: result.groups for name, result in outcome.results.items()
+                } == oracles[outcome.version]
+        finally:
+            writer_done.set()
+            for t in threads:
+                t.join(timeout=60)
+        assert not failures
+        assert observations
+        versions_seen = set()
+        for version, groups in observations:
+            assert groups == oracles[version], f"torn read at version {version}"
+            versions_seen.add(version)
+        # the final state is served to new requests
+        final = server.run(batch)
+        assert final.snapshot_version == len(rounds)
+        assert _groups(final) == oracles[len(rounds)]
+
+
+def test_second_writer_lineage_conflicts_cleanly(favorita_db):
+    engine = LMFAO(favorita_db, EngineConfig(join_tree_edges=FAVORITA_TREE))
+    batch = _batch()
+    sales = favorita_db.relation("Sales")
+    first = engine.maintain(batch)
+    second = engine.maintain(batch)
+    first.apply(inserts={"Sales": [sales.row(0)]})
+    before = {name: r.groups for name, r in second.results.items()}
+    with pytest.raises(PlanError, match="snapshot version conflict"):
+        second.apply(inserts={"Sales": [sales.row(1)]})
+    # the losing writer's own state is untouched by the failed apply
+    assert {name: r.groups for name, r in second.results.items()} == before
+    assert second.version == 0
+    # and the engine still serves the first writer's lineage
+    assert engine.snapshot().version == 1

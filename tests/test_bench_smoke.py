@@ -1,10 +1,12 @@
-"""Smoke-run of the three-backend grid benchmark so the script can't rot.
+"""Smoke-runs of the standalone benchmark scripts so they can't rot.
 
-``benchmarks/bench_parallel.py`` lives outside the package and is only
-exercised by CI's benchmark job otherwise; this tiny-dataset run keeps its
-grid wiring (three backends × workers × partitions, built-in bit-exactness
-assertions, report schema) under the tier-1 suite. The ≥5× numpy speedup
-gate is row-gated inside the script and only *recorded* at smoke scale.
+``benchmarks/bench_parallel.py`` and ``benchmarks/bench_serving.py`` live
+outside the package and are only exercised by CI's benchmark jobs
+otherwise; these tiny runs keep their wiring (grids, built-in
+bit-exactness assertions, report schemas) under the tier-1 suite. The
+performance gates (≥5× numpy, ≥5× plan-cache hit) are size-gated inside
+the scripts and only *recorded* at smoke scale — but every correctness
+assertion (bit-exactness, zero torn reads) is hard at any scale.
 """
 
 from __future__ import annotations
@@ -13,18 +15,20 @@ import importlib.util
 import json
 from pathlib import Path
 
-_BENCH = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_parallel.py"
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
 
 
-def _load_bench():
-    spec = importlib.util.spec_from_file_location("bench_parallel_smoke", _BENCH)
+def _load_bench(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"{name}_smoke", _BENCHMARKS / f"{name}.py"
+    )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
 
 
 def test_bench_parallel_grid_smoke(tmp_path):
-    bench = _load_bench()
+    bench = _load_bench("bench_parallel")
     out = tmp_path / "BENCH_parallel.json"
     assert bench.main(["--rows", "3000", "--repeats", "1", "--out", str(out)]) == 0
     report = json.loads(out.read_text())
@@ -48,3 +52,25 @@ def test_bench_parallel_grid_smoke(tmp_path):
     )
     assert report["numpy_over_python_sequential_carried"] > 0
     assert "skipped" in report["carried_numpy_speedup_assertion"]
+
+
+def test_bench_serving_smoke(tmp_path):
+    """The CI smoke gate of the serving acceptance criteria: the mixed
+    run/maintain workload must be bit-exact vs the sequential oracle with
+    zero torn reads (hard), while the ≥5× hit-latency gate is recorded
+    at smoke request counts and asserted on full runs."""
+    bench = _load_bench("bench_serving")
+    out = tmp_path / "BENCH_serving.json"
+    argv = ["--scale", "0.02", "--requests", "2", "--rounds", "3",
+            "--out", str(out)]
+    assert bench.main(argv) == 0
+    report = json.loads(out.read_text())
+    cache = report["plan_cache"]
+    assert cache["bit_exact_vs_cold_compile"]
+    assert cache["hit_speedup"] > 0
+    assert cache["plan_cache"]["misses"] == 1  # one structure, compiled once
+    mixed = report["mixed_workload"]
+    assert mixed["bit_exact_vs_sequential_oracle"]
+    assert mixed["torn_reads"] == 0
+    assert mixed["concurrent_reads"] > 0
+    assert "skipped" in report["hit_speedup_assertion"]
