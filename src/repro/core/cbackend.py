@@ -47,7 +47,7 @@ import subprocess
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -837,3 +837,34 @@ class CBackendLibrary:
             fn.argtypes = [ctypes.POINTER(ctypes.c_void_p)]
             fn.restype = ctypes.c_int32
             group.fn = fn
+
+
+def compile_c_groups(
+    plans: Sequence[MultiOutputPlan], attribute_kinds: Mapping[str, str]
+) -> tuple[list, "CBackendLibrary | None"]:
+    """Lower supported plans to C; unsupported ones stay on Python.
+
+    Returns ``(native_groups, library)`` in the
+    :attr:`~repro.core.engine.CompiledBatch.native_groups` layout. Shared
+    by the engine's compile step and the per-process warm-up of the
+    multiprocess executor (:mod:`repro.core.mpexec`), which recompiles the
+    same plans once per worker process — compiled code cannot cross a
+    process boundary, plans can.
+    """
+    if not gcc_available():
+        raise PlanError("backend='c' requires gcc on PATH")
+    native_groups: list = [None] * len(plans)
+    native = []
+    for i, plan in enumerate(plans):
+        if not supports_plan(plan, attribute_kinds):
+            continue
+        symbol = f"lmfao_run_g{i}"
+        source, args = generate_c_source(plan, symbol)
+        group = CCompiledGroup(plan=plan, symbol=symbol, args=args, source=source)
+        native_groups[i] = group
+        native.append(group)
+    library = None
+    if native:
+        library = CBackendLibrary()
+        library.compile(native)
+    return native_groups, library

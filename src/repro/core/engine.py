@@ -34,6 +34,7 @@ serving layer (:mod:`repro.serve`) is built on exactly these two seams.
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field, replace
@@ -51,6 +52,7 @@ from repro.core.runtime import (
     node_trie,
     partition_tries,
     prepare_bindings,
+    trie_cache_key,
 )
 from repro.core.viewgen import ViewGenerator, ViewPlan
 from repro.data.catalog import Database
@@ -127,7 +129,7 @@ class EngineConfig:
         relations, disconnected forests and running-intersection
         violations raise :class:`~repro.util.errors.SchemaError`).
 
-    **Execution** (all four validated by :meth:`validate`, with messages
+    **Execution** (all validated by :meth:`validate`, with messages
     naming ``EngineConfig.<field>`` and the offending value):
 
     ``workers`` (int, default 1)
@@ -163,7 +165,21 @@ class EngineConfig:
         multicore scaling there; NumPy releases the GIL inside large
         kernels (partial scaling, no gcc needed); the Python backend
         stays GIL-serialised but goes through the same scheduler and
-        merge paths.
+        merge paths;
+    ``executor`` (str, default "thread")
+        must be ``"thread"`` or ``"process"``. ``"thread"`` keeps both
+        parallelism axes on the in-process thread pool (real scaling only
+        where the backend releases the GIL). ``"process"`` routes domain
+        parallelism to a persistent pool of worker processes
+        (:mod:`repro.core.mpexec`): trie partitions travel as read-only
+        ``multiprocessing.shared_memory`` segments (never pickled),
+        workers recompile each batch's plans once per process, and
+        partials merge local-combine-then-tree-reduce — bit-identical
+        merge semantics to the sequential path. Groups that cannot ship
+        (single partition, functions that are not transportable by name)
+        transparently run in-process. Engines with ``executor="process"``
+        own OS resources; call :meth:`LMFAO.close` (or use the engine as
+        a context manager) to reclaim them deterministically.
 
     **Incremental maintenance** (see :meth:`LMFAO.maintain`; beyond the
     paper, which recomputes batches from scratch):
@@ -209,6 +225,7 @@ class EngineConfig:
     partitions: int = 1
     parallel_threshold: int = 8192
     backend: str = "python"
+    executor: str = "thread"
     incremental_mode: str = "auto"
     incremental_cutoff: bool = True
 
@@ -370,6 +387,46 @@ class LMFAO:
         else:
             self.tree = build_join_tree(db.schema)
         self._snapshots = SnapshotStore(Snapshot(version=0, db=db, tries={}))
+        self._mpexec = None
+        self._mpexec_lock = threading.Lock()
+
+    # ----------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release owned OS resources (idempotent; engine stays queryable).
+
+        Only ``executor="process"`` engines hold any: the worker pool and
+        its shared-memory segments. Unclosed engines are also reclaimed at
+        garbage collection, but an explicit ``close()`` — or using the
+        engine as a context manager — makes the teardown deterministic.
+        """
+        with self._mpexec_lock:
+            executor, self._mpexec = self._mpexec, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "LMFAO":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _process_executor(self):
+        """The lazily started multiprocess executor (``executor="process"``)."""
+        with self._mpexec_lock:
+            if self._mpexec is None:
+                from repro.core import mpexec
+
+                schema = self.db.schema
+                self._mpexec = mpexec.ProcessExecutor(
+                    workers=self.config.workers,
+                    backend=self.config.backend,
+                    share_terms=self.config.share_scan_terms,
+                    attribute_kinds={
+                        attr: schema.attribute_kind(attr).value
+                        for attr in schema.all_attributes
+                    },
+                )
+            return self._mpexec
 
     @property
     def db(self) -> Database:
@@ -453,32 +510,19 @@ class LMFAO:
         )
 
     def _compile_native(self, plans: list[MultiOutputPlan]):
-        """Lower supported plans to C; unsupported ones stay on Python."""
+        """Lower supported plans to C; unsupported ones stay on Python.
+
+        Delegates to :func:`repro.core.cbackend.compile_c_groups` — the
+        same entry point the multiprocess executor's per-worker warm-up
+        uses, so parent and workers compile identical native groups.
+        """
         from repro.core import cbackend
 
-        if not cbackend.gcc_available():
-            raise PlanError("backend='c' requires gcc on PATH")
         kinds = {
             attr: self.db.schema.attribute_kind(attr).value
             for attr in self.db.schema.all_attributes
         }
-        native_groups: list = [None] * len(plans)
-        native = []
-        for i, plan in enumerate(plans):
-            if not cbackend.supports_plan(plan, kinds):
-                continue
-            symbol = f"lmfao_run_g{i}"
-            source, args = cbackend.generate_c_source(plan, symbol)
-            group = cbackend.CCompiledGroup(
-                plan=plan, symbol=symbol, args=args, source=source
-            )
-            native_groups[i] = group
-            native.append(group)
-        library = None
-        if native:
-            library = cbackend.CBackendLibrary()
-            library.compile(native)
-        return native_groups, library
+        return cbackend.compile_c_groups(plans, kinds)
 
     # --------------------------------------------------------------------- run
     def run(self, batch: QueryBatch) -> RunResult:
@@ -552,7 +596,14 @@ class LMFAO:
                     query_raw[emission.artifact] = outputs[emission.artifact]
 
         with watch.lap("execute"):
-            if config.workers > 1:
+            if config.executor == "process" and (
+                config.workers > 1 or config.partitions > 1
+            ):
+                self._run_process(
+                    compiled, view_data, view_group_by, store_outputs,
+                    group_times, snapshot, functions, shared,
+                )
+            elif config.workers > 1:
                 self._run_parallel(
                     compiled, view_data, view_group_by, store_outputs,
                     group_times, snapshot, functions, shared,
@@ -618,6 +669,116 @@ class LMFAO:
         snapshot: Snapshot,
     ) -> TrieIndex:
         return node_trie(snapshot.db, node, order, shared, snapshot.tries)
+
+    def _run_process(
+        self,
+        compiled: CompiledBatch,
+        view_data: dict,
+        view_group_by: dict,
+        store_outputs,
+        group_times: dict[str, float],
+        snapshot: Snapshot,
+        functions: dict[str, Function],
+        shared: tuple[Predicate, ...],
+    ) -> None:
+        """Domain parallelism across worker processes (``executor="process"``).
+
+        Groups run in dependency order on this thread; each group that
+        partitions fans its trie partitions out to the multiprocess pool
+        via snapshot-pinned shared-memory segments
+        (:mod:`repro.core.mpexec`). A group stays in-process when it does
+        not partition (below threshold, unsafe merge, single level-0 run)
+        or references functions that cannot travel by name — both produce
+        bit-identical results to the shipped path, so the fallback is
+        purely a performance decision. The snapshot version is retained
+        for the whole run: concurrent maintenance installing successors
+        can never unlink a segment a worker still maps.
+        """
+        config = self.config
+        executor = self._process_executor()
+        executor.retain(snapshot.version)
+        try:
+            for index in compiled.execution_order:
+                group = compiled.group_plan.groups[index]
+                plan = compiled.plans[index]
+                start = time.perf_counter()
+                trie = self._trie(plan.node, plan.order, shared, snapshot)
+                tries = partition_tries(
+                    plan, trie, config.partitions, config.parallel_threshold
+                )
+                outputs = self._execute_group_partitioned(
+                    compiled, index, tries, view_data, view_group_by,
+                    functions, snapshot=snapshot, shared=shared,
+                )
+                store_outputs(index, outputs)
+                group_times[group.name] = time.perf_counter() - start
+        finally:
+            executor.release(snapshot.version)
+
+    def _execute_group_partitioned(
+        self,
+        compiled: CompiledBatch,
+        index: int,
+        tries,
+        view_data: dict,
+        view_group_by: dict,
+        functions: dict[str, Function],
+        snapshot: Snapshot | None = None,
+        shared: tuple[Predicate, ...] = (),
+    ) -> dict[str, dict]:
+        """One group over pre-partitioned tries — the single offload point.
+
+        Ships the partitions to the process pool when ``executor="process"``,
+        the trie actually split, the plan's functions travel by name, and a
+        snapshot identifies the segment (version + trie cache key);
+        otherwise runs in-process via :func:`execute_plan_partitioned`.
+        Both :meth:`execute` and the incremental maintainer
+        (:meth:`repro.incremental.maintain.MaintainedBatch._execute`) come
+        through here, so the two always take the same path per plan and the
+        merged float association is identical — a maintained rescan stays
+        bit-identical to a from-scratch run under the same config.
+        """
+        from repro.core import mpexec
+
+        plan = compiled.plans[index]
+        native = compiled.native_groups[index] if compiled.native_groups else None
+        if (
+            snapshot is not None
+            and self.config.executor == "process"
+            and len(tries) > 1
+            and mpexec.plan_transportable(plan, functions)
+        ):
+            executor = self._process_executor()
+            executor.retain(snapshot.version)
+            try:
+                export = executor.export(
+                    snapshot.version,
+                    trie_cache_key(snapshot.db, plan.node, plan.order, shared),
+                    tries,
+                )
+                needed_views = {b.view for b in plan.bindings}
+                return executor.execute_group(
+                    compiled,
+                    index,
+                    export,
+                    {v: view_data[v] for v in needed_views if v in view_data},
+                    {v: view_group_by[v] for v in needed_views},
+                    {
+                        name: functions[name]
+                        for name in mpexec.plan_function_names(plan)
+                    },
+                )
+            finally:
+                executor.release(snapshot.version)
+        return execute_plan_partitioned(
+            compiled.code[index],
+            native,
+            plan,
+            tries,
+            view_data,
+            view_group_by,
+            functions,
+        )
 
     def _run_parallel(
         self,
@@ -761,6 +922,11 @@ def _validate_execution_config(config: EngineConfig) -> None:
         raise PlanError(
             f"EngineConfig.backend must be one of 'python', 'numpy', 'c', "
             f"got {config.backend!r}"
+        )
+    if config.executor not in {"thread", "process"}:
+        raise PlanError(
+            f"EngineConfig.executor must be one of 'thread', 'process', "
+            f"got {config.executor!r}"
         )
 
 

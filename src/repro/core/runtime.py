@@ -298,16 +298,27 @@ def apply_predicates(relation: Relation, predicates) -> Relation:
     return relation.filter(mask)
 
 
+def trie_cache_key(db, node: str, order: tuple[str, ...], shared) -> tuple:
+    """The canonical trie-cache key: ``(node, order, local pred signatures)``.
+
+    Defined once and shared by every consumer — the engine's cross-run
+    cache, the incremental maintainer's per-handle cache (which seeds from
+    the engine's), and the process executor's shared-memory segment store
+    (which keys exported tries by ``(snapshot version, this key,
+    partitions)``).
+    """
+    local = local_predicates(db.schema.relation(node).attribute_names, shared)
+    return (node, order, tuple(p.signature for p in local))
+
+
 def node_trie(db, node: str, order: tuple[str, ...], shared, cache: dict) -> TrieIndex:
     """The cached trie index for one node under pushed-down predicates.
 
-    The cache key — ``(node, order, local predicate signatures)`` — is
-    defined here, once: the engine's cross-run cache and the incremental
-    maintainer's per-handle cache must agree on it, since a handle seeds
-    its cache from the engine's.
+    The cache key is :func:`trie_cache_key` — defined there, once, for
+    every consumer.
     """
     local = local_predicates(db.schema.relation(node).attribute_names, shared)
-    key = (node, order, tuple(p.signature for p in local))
+    key = trie_cache_key(db, node, order, shared)
     trie = cache.get(key)
     if trie is None:
         trie = TrieIndex(apply_predicates(db.relation(node), local), order)

@@ -59,7 +59,6 @@ from repro.core.runtime import (
     ArrayViewData,
     apply_predicates,
     debug_checks_enabled,
-    execute_plan_partitioned,
     local_predicates,
     node_trie,
     partition_tries,
@@ -321,7 +320,7 @@ class MaintainedBatch:
             snapshot.db, plan.node, plan.order,
             self.compiled.shared_predicates, snapshot.tries,
         )
-        return self._execute(index, trie, view_data)
+        return self._execute(index, trie, view_data, snapshot=snapshot)
 
     def _run_delta(
         self, index: int, delta: RelationDelta, view_data: dict
@@ -340,31 +339,42 @@ class MaintainedBatch:
         trie = TrieIndex(relation, plan.order)
         return self._execute(index, trie, view_data)
 
-    def _execute(self, index: int, trie: TrieIndex, view_data: dict) -> dict[str, dict]:
+    def _execute(
+        self,
+        index: int,
+        trie: TrieIndex,
+        view_data: dict,
+        snapshot: Snapshot | None = None,
+    ) -> dict[str, dict]:
         """Drive one group through the engine's partitioned execution path.
 
         Under a partitioned configuration the maintainer splits and merges
         exactly like the batch executor (same cut points, same partition
-        order), so a rescan stays bit-identical to a from-scratch run with
-        the same :class:`EngineConfig`. Delta tries are usually smaller
-        than ``parallel_threshold`` and take the single-partition path.
+        order, same :meth:`LMFAO._execute_group_partitioned` offload
+        decision — full rescans under ``executor="process"`` ship to the
+        worker pool with the same merge association), so a rescan stays
+        bit-identical to a from-scratch run with the same
+        :class:`EngineConfig`. Delta tries are ad hoc (built over the
+        inserted tuples, not addressable by a snapshot trie cache key),
+        so the numeric path passes ``snapshot=None`` and always runs
+        in-process — they are usually below ``parallel_threshold`` anyway.
         ``view_data`` is the successor version's store being built: a
         downstream group reads its upstream views refreshed-this-round.
         """
         compiled = self.compiled
         plan = compiled.plans[index]
-        native = compiled.native_groups[index] if compiled.native_groups else None
         tries = partition_tries(
             plan, trie, self.config.partitions, self.config.parallel_threshold
         )
-        return execute_plan_partitioned(
-            compiled.code[index],
-            native,
-            plan,
+        return self._engine._execute_group_partitioned(
+            compiled,
+            index,
             tries,
             view_data,
             self._view_group_by,
             compiled.functions,
+            snapshot=snapshot,
+            shared=compiled.shared_predicates,
         )
 
     def _adopt_outputs(

@@ -261,10 +261,13 @@ class AggregateServer:
         )
 
     def close(self) -> None:
-        """Drain the worker pool and reject further submissions."""
+        """Drain the worker pool, reject further submissions, and release
+        the engine's owned OS resources (the ``executor="process"`` worker
+        pool and its shared-memory segments, when configured)."""
         with self._lock:
             self._closed = True
         self._pool.shutdown(wait=True)
+        self.engine.close()
 
     def __enter__(self) -> "AggregateServer":
         return self

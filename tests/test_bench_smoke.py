@@ -52,6 +52,20 @@ def test_bench_parallel_grid_smoke(tmp_path):
     )
     assert report["numpy_over_python_sequential_carried"] > 0
     assert "skipped" in report["carried_numpy_speedup_assertion"]
+    # the process-executor column: one point per backend at workers=4,
+    # partitions=4, each bit-exact against the sequential Python baseline;
+    # the >=3x gate is core- and row-gated, so a smoke run records a skip
+    process_backends = {point["backend"] for point in report["process_grid"]}
+    assert {"python", "numpy"} <= process_backends
+    assert all(
+        point["executor"] == "process"
+        and point["workers"] == 4
+        and point["partitions"] == 4
+        and point["bit_exact_vs_sequential_python"]
+        for point in report["process_grid"]
+    )
+    assert report["process_speedup_4workers_vs_sequential_python"] > 0
+    assert "skipped" in report["process_speedup_assertion"]
 
 
 def test_bench_serving_smoke(tmp_path):
