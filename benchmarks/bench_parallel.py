@@ -32,7 +32,16 @@ and checks three claims:
   oracle: bit-exact at every point, **zero silent fallbacks**
   (``native_groups == num_groups`` is a hard assert on every numpy
   point, both batches), and sequential NumPy ≥ 3× sequential Python at
-  full size (row-gated like the 5× gate above).
+  full size (row-gated like the 5× gate above);
+* **adaptive anti-regression** — an adaptive column (default
+  ``parallel_threshold``, ``adaptive=True``: the cost model decides
+  partition counts and grouping strategies itself) guards the two
+  recorded misplans: adaptive partitioned numpy must stay within 1.1×
+  of sequential numpy (the old partitions=4 slowdown), and the adaptive
+  carried point within 5% of the best statically configured carried
+  point. Every grid point records the run's per-group cost-model
+  ``decisions`` (backend, partitions, per-emission hash/sort strategy)
+  as a report column.
 
 Writes ``BENCH_parallel.json`` (repo root by default) — the spine of the
 performance trajectory: grid timings, speedups, environment.
@@ -154,20 +163,30 @@ def carried_batch() -> QueryBatch:
     )
 
 
-def _time_execute(engine: LMFAO, compiled, repeats: int) -> tuple[float, dict]:
-    """Best-of-N wall-clock of execute() on a warmed engine, plus results."""
+def _time_execute(
+    engine: LMFAO, compiled, repeats: int
+) -> tuple[float, dict, dict]:
+    """Best-of-N wall-clock of execute() on a warmed engine, plus results
+    and the run's per-group cost-model decisions (backend, partition
+    count, grouping strategy per hash emission)."""
     run = engine.execute(compiled)  # warm-up: tries, partitions, registers
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         run = engine.execute(compiled)
         best = min(best, time.perf_counter() - start)
-    return best, {name: result.groups for name, result in run.results.items()}
+    results = {name: result.groups for name, result in run.results.items()}
+    return best, results, run.decisions
 
 
 #: below this row count the ≥5× numpy-vs-python assertion is recorded
 #: only — vectorization cannot amortise on toy tries (smoke runs).
 _NUMPY_ASSERT_MIN_ROWS = 500_000
+
+#: below this row count the adaptive anti-regression gates (adaptive
+#: partitioned numpy ≤ 1.1× sequential numpy; adaptive carried within 5%
+#: of the best static point) are recorded only — sub-100k runs are noise.
+_ADAPTIVE_ASSERT_MIN_ROWS = 100_000
 
 
 def run_grid(rows: int, repeats: int) -> dict:
@@ -176,7 +195,7 @@ def run_grid(rows: int, repeats: int) -> dict:
     backends = ["python", "numpy"] + (["c"] if gcc_available() else [])
 
     baseline_engine = LMFAO(db, EngineConfig(workers=1, partitions=1))
-    baseline_seconds, baseline = _time_execute(
+    baseline_seconds, baseline, _ = _time_execute(
         baseline_engine, baseline_engine.compile(batch), repeats
     )
 
@@ -203,7 +222,9 @@ def run_grid(rows: int, repeats: int) -> dict:
                         f"{compiled.num_groups - compiled.native_group_count}"
                         f" group(s)"
                     )
-                seconds, results = _time_execute(engine, compiled, repeats)
+                seconds, results, decisions = _time_execute(
+                    engine, compiled, repeats
+                )
                 bit_exact = results == baseline
                 assert bit_exact, (
                     f"{backend} workers={workers} partitions={partitions} "
@@ -218,6 +239,7 @@ def run_grid(rows: int, repeats: int) -> dict:
                         "native_groups": compiled.native_group_count,
                         "num_groups": compiled.num_groups,
                         "bit_exact_vs_sequential_python": bit_exact,
+                        "decisions": decisions,
                     }
                 )
                 print(
@@ -243,7 +265,7 @@ def run_grid(rows: int, repeats: int) -> dict:
         engine = LMFAO(db, config)
         try:
             compiled = engine.compile(batch)
-            seconds, results = _time_execute(engine, compiled, repeats)
+            seconds, results, _ = _time_execute(engine, compiled, repeats)
         finally:
             engine.close()
         bit_exact = results == baseline
@@ -271,7 +293,7 @@ def run_grid(rows: int, repeats: int) -> dict:
     # sequential Python oracle — the workload class that used to fall back
     cbatch = carried_batch()
     carried_engine = LMFAO(db, EngineConfig(workers=1, partitions=1))
-    carried_base_seconds, carried_base = _time_execute(
+    carried_base_seconds, carried_base, _ = _time_execute(
         carried_engine, carried_engine.compile(cbatch), repeats
     )
     print(
@@ -298,7 +320,9 @@ def run_grid(rows: int, repeats: int) -> dict:
                 f"{compiled.num_groups - compiled.native_group_count} "
                 f"carried group(s)"
             )
-            seconds, results = _time_execute(engine, compiled, repeats)
+            seconds, results, decisions = _time_execute(
+                engine, compiled, repeats
+            )
             bit_exact = results == carried_base
             assert bit_exact, (
                 f"carried numpy workers={workers} partitions={partitions} "
@@ -313,12 +337,71 @@ def run_grid(rows: int, repeats: int) -> dict:
                     "native_groups": compiled.native_group_count,
                     "num_groups": compiled.num_groups,
                     "bit_exact_vs_sequential_python": bit_exact,
+                    "decisions": decisions,
                 }
             )
             print(
                 f"  carried  numpy  workers={workers}  partitions={partitions}  "
                 f"{seconds * 1e3:8.1f} ms  bit-exact={bit_exact}"
             )
+
+    # ------------------------------------------------- adaptive execution
+    # The cost-based layer with its real defaults: parallel_threshold at
+    # 8192 (not the grid's forced fan-out) and adaptive=True, so the
+    # model decides partition counts and grouping strategies itself. This
+    # column guards the two recorded misplans — partitions=4 numpy slower
+    # than sequential numpy, and carried-heavy plans losing their
+    # vectorisation win to dense-key grouping.
+    adaptive_points = []
+    for workers, partitions in ((1, 4), (4, 4)):
+        config = EngineConfig(
+            backend="numpy", workers=workers, partitions=partitions
+        )
+        engine = LMFAO(db, config)
+        compiled = engine.compile(batch)
+        seconds, results, decisions = _time_execute(engine, compiled, repeats)
+        bit_exact = results == baseline
+        assert bit_exact, (
+            f"adaptive numpy workers={workers} partitions={partitions} "
+            f"diverged from the sequential Python baseline"
+        )
+        adaptive_points.append(
+            {
+                "backend": "numpy",
+                "adaptive": True,
+                "workers": workers,
+                "partitions": partitions,
+                "seconds": seconds,
+                "bit_exact_vs_sequential_python": bit_exact,
+                "decisions": decisions,
+            }
+        )
+        print(
+            f"  adaptive numpy  workers={workers}  partitions={partitions}  "
+            f"{seconds * 1e3:8.1f} ms  bit-exact={bit_exact}"
+        )
+    engine = LMFAO(
+        db, EngineConfig(backend="numpy", workers=4, partitions=4)
+    )
+    compiled = engine.compile(cbatch)
+    carried_adaptive_seconds, results, carried_adaptive_decisions = (
+        _time_execute(engine, compiled, repeats)
+    )
+    assert results == carried_base, (
+        "adaptive carried numpy diverged from the sequential Python oracle"
+    )
+    carried_adaptive = {
+        "backend": "numpy",
+        "adaptive": True,
+        "workers": 4,
+        "partitions": 4,
+        "seconds": carried_adaptive_seconds,
+        "decisions": carried_adaptive_decisions,
+    }
+    print(
+        f"  adaptive carried numpy  workers=4  partitions=4  "
+        f"{carried_adaptive_seconds * 1e3:8.1f} ms"
+    )
 
     def seconds_at(backend: str, workers: int, partitions: int) -> float | None:
         for p in points:
@@ -347,7 +430,60 @@ def run_grid(rows: int, repeats: int) -> dict:
         "process_grid": process_points,
         "carried_baseline_sequential_python_seconds": carried_base_seconds,
         "carried_grid": carried_points,
+        "adaptive_grid": adaptive_points,
+        "carried_adaptive": carried_adaptive,
     }
+
+    # -------------------------------------------- adaptive anti-regression
+    # the misplan this layer fixes: an advisory partitions=4 must never
+    # make the numpy backend materially slower than sequential numpy again
+    # (>1.1x), and the adaptive carried point must stay within 5% of the
+    # best statically configured carried grid point.
+    strict = os.environ.get("LMFAO_BENCH_STRICT", "1") != "0"
+    np_seq_static = seconds_at("numpy", 1, 1)
+    if np_seq_static is not None and adaptive_points:
+        worst = max(p["seconds"] for p in adaptive_points)
+        ratio = worst / np_seq_static
+        report["adaptive_numpy_worst_vs_sequential_numpy"] = ratio
+        if rows < _ADAPTIVE_ASSERT_MIN_ROWS:
+            report["adaptive_assertion"] = (
+                f"skipped: {rows} rows < {_ADAPTIVE_ASSERT_MIN_ROWS} (smoke run)"
+            )
+        elif ratio > 1.1 and not strict:
+            report["adaptive_assertion"] = f"FAILED (non-strict): {ratio:.2f}x"
+            print(
+                f"WARNING: adaptive partitioned numpy {ratio:.2f}x sequential "
+                f"numpy, expected <= 1.1x (non-strict mode)"
+            )
+        else:
+            assert ratio <= 1.1, (
+                f"adaptive partitioned numpy is {ratio:.2f}x sequential "
+                f"numpy — the partitions=4 slowdown regressed (expected "
+                f"<= 1.1x)"
+            )
+            report["adaptive_assertion"] = f"passed: {ratio:.2f}x"
+    if carried_points:
+        best_static = min(p["seconds"] for p in carried_points)
+        ratio = carried_adaptive_seconds / best_static
+        report["carried_adaptive_vs_best_static"] = ratio
+        if rows < _ADAPTIVE_ASSERT_MIN_ROWS:
+            report["carried_adaptive_assertion"] = (
+                f"skipped: {rows} rows < {_ADAPTIVE_ASSERT_MIN_ROWS} (smoke run)"
+            )
+        elif ratio > 1.05 and not strict:
+            report["carried_adaptive_assertion"] = (
+                f"FAILED (non-strict): {ratio:.2f}x"
+            )
+            print(
+                f"WARNING: adaptive carried numpy {ratio:.2f}x the best "
+                f"static point, expected <= 1.05x (non-strict mode)"
+            )
+        else:
+            assert ratio <= 1.05, (
+                f"adaptive carried numpy is {ratio:.2f}x the best static "
+                f"carried configuration (expected within 5%)"
+            )
+            report["carried_adaptive_assertion"] = f"passed: {ratio:.2f}x"
     c_seq = seconds_at("c", 1, 1)
     c_par = seconds_at("c", 4, 4)
     if c_seq is not None and c_par is not None:
@@ -485,6 +621,12 @@ def main(argv: list[str] | None = None) -> int:
     speedup = report.get("process_speedup_4workers_vs_sequential_python")
     if speedup is not None:
         print(f"process executor 4 workers vs sequential python: {speedup:.2f}x")
+    ratio = report.get("adaptive_numpy_worst_vs_sequential_numpy")
+    if ratio is not None:
+        print(f"adaptive partitioned numpy vs sequential numpy: {ratio:.2f}x")
+    ratio = report.get("carried_adaptive_vs_best_static")
+    if ratio is not None:
+        print(f"adaptive carried numpy vs best static: {ratio:.2f}x")
     print(f"written to {args.out}")
     return 0
 

@@ -1,5 +1,6 @@
 """LMFAO's three optimisation layers and the execution engine."""
 
+from repro.core import costmodel, lowering
 from repro.core.codegen import CompiledGroup, generate_group
 from repro.core.decompose import decompose_group
 from repro.core.engine import (
@@ -36,7 +37,9 @@ __all__ = [
     "ViewGenerator",
     "ViewPlan",
     "build_groups",
+    "costmodel",
     "decompose_group",
     "generate_group",
+    "lowering",
     "order_group",
 ]

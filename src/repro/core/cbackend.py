@@ -51,6 +51,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.lowering import (
+    MODE_ALIGNED,
+    MODE_SCALAR,
+    emission_mode,
+    lower_plan,
+)
 from repro.core.plan import (
     CountTerm,
     Emission,
@@ -144,11 +150,11 @@ class _ArgSpec:
 
 
 def _emission_mode(emission: Emission) -> str:
-    if not emission.group_by:
-        return "scalar"
-    if emission.aligned:
-        return "append"
-    return "hash"
+    """The shared lowering's mode, with ``'aligned'`` rendered as this
+    backend's ``'append'`` (aligned emissions append into run-count-sized
+    arrays instead of materialising masked columns)."""
+    mode = emission_mode(emission)
+    return "append" if mode == MODE_ALIGNED else mode
 
 
 def generate_c_source(plan: MultiOutputPlan, symbol: str) -> tuple[str, list[_ArgSpec]]:
@@ -159,6 +165,7 @@ def generate_c_source(plan: MultiOutputPlan, symbol: str) -> tuple[str, list[_Ar
     larger buffers).
     """
     num_rel = len(plan.relation_levels)
+    lowered = lower_plan(plan)
     args: list[_ArgSpec] = []
 
     def arg(name: str, ctype: str, role: tuple) -> str:
@@ -273,14 +280,10 @@ def generate_c_source(plan: MultiOutputPlan, symbol: str) -> tuple[str, list[_Ar
             w.pop()
             w.line("}")
 
-    # ---------------- schedules (mirror the Python backend) -----------------
-    bindings_at: dict[int, list] = {}
-    for binding in plan.bindings:
-        bindings_at.setdefault(binding.bind_level, []).append(binding)
-    subsums_by_block: dict[int, list[SubSumTerm]] = {}
-    for term in plan.subsums:
-        subsums_by_block.setdefault(term.block, []).append(term)
-
+    # ---------------- schedules (the shared lowering) -----------------------
+    # Per-level probe/γ/β/emission placement comes from repro.core.lowering
+    # — the same LoweredPlan the Python generator and the NumPy backend
+    # consume. Term hoisting stays local (C consts, always on).
     term_vars: dict[tuple, tuple[str, str]] = {}
     hoisted_at: dict[int, list[tuple[str, str]]] = {}
     counter = [0]
@@ -322,36 +325,8 @@ def generate_c_source(plan: MultiOutputPlan, symbol: str) -> tuple[str, list[_Ar
             cached = (var, base)
         return cached[0]
 
-    gammas_at: dict[int, list] = {}
-    for node in plan.gammas:
-        gammas_at.setdefault(node.level, []).append(node)
-    beta_inits_at: dict[int, list] = {}
-    beta_accums_at: dict[int, list] = {}
-    for node in plan.betas:
-        beta_inits_at.setdefault(node.reset_level, []).append(node)
-        beta_accums_at.setdefault(node.level, []).append(node)
-
     gamma_exprs = {n.id: [term_expr(t) for t in n.terms] for n in plan.gammas}
     beta_exprs = {n.id: [term_expr(t) for t in n.terms] for n in plan.betas}
-
-    emissions_at: dict[int, list[tuple[int, Emission, tuple[EmissionSlot, ...]]]] = {}
-    scalar_emissions: list[tuple[int, Emission]] = []
-    for i, (emission, mode) in enumerate(out_specs):
-        if mode == "scalar":
-            scalar_emissions.append((i, emission))
-            continue
-        if mode == "append":
-            emissions_at.setdefault(emission.slots[0].level, []).append(
-                (i, emission, emission.slots)
-            )
-            continue
-        groups: dict[tuple, list[EmissionSlot]] = {}
-        for slot in emission.slots:
-            groups.setdefault(
-                (slot.level, slot.key_parts, slot.key_blocks, slot.support), []
-            ).append(slot)
-        for (level, _parts, _blocks, _support), slots in groups.items():
-            emissions_at.setdefault(level, []).append((i, emission, tuple(slots)))
 
     def slot_value(slot: EmissionSlot) -> str:
         pieces = []
@@ -368,25 +343,30 @@ def generate_c_source(plan: MultiOutputPlan, symbol: str) -> tuple[str, list[_Ar
     def emit_body(level: int) -> None:
         for var, expr in hoisted_at.get(level, ()):
             w.line(f"const double {var} = {expr};")
-        for node in gammas_at.get(level, ()):
+        for node in lowered.level(level).gammas:
             exprs = list(gamma_exprs[node.id])
             if node.parent is not None:
                 exprs = [f"g{node.parent}"] + exprs
             w.line(f"const double g{node.id} = {' * '.join(exprs)};")
-        for node in beta_inits_at.get(level, ()):
+        for node in lowered.level(level).beta_inits:
             w.line(f"double b{node.id} = 0.0;")
 
     def emit_tail(level: int) -> None:
-        for node in beta_accums_at.get(level, ()):
+        schedule = lowered.level(level)
+        for node in schedule.beta_accums:
             exprs = list(beta_exprs[node.id])
             if node.child is not None:
                 exprs.append(f"b{node.child}")
             w.line(f"b{node.id} += {' * '.join(exprs)};")
-        for index, emission, slots in emissions_at.get(level, ()):
-            _emit_output(w, plan, blocks, index, emission, slots, slot_value)
+        for le in schedule.aligned_emissions:
+            _emit_output(w, plan, blocks, le.index, le.emission, le.emission.slots,
+                         slot_value)
+        for group in schedule.slot_groups:
+            _emit_output(w, plan, blocks, group.emission_index, group.emission,
+                         group.slots, slot_value)
 
     def emit_probes(level: int) -> None:
-        for binding in bindings_at.get(level, ()):
+        for binding in lowered.level(level).probes:
             i = binding_index[binding.view]
             kparts = len(binding.key)
             parts = " ^ ".join(
@@ -412,7 +392,7 @@ def generate_c_source(plan: MultiOutputPlan, symbol: str) -> tuple[str, list[_Ar
             w.line("}")
             w.line(f"if (sl_B{i} < 0) continue;")
             if binding.is_carried:
-                subs = subsums_by_block.get(binding.block, ())
+                subs = lowered.block_subsums(binding.block)
                 if subs:
                     for term in subs:
                         w.line(f"double ss_{term.block}_{term.agg_index} = 0.0;")
@@ -453,9 +433,9 @@ def generate_c_source(plan: MultiOutputPlan, symbol: str) -> tuple[str, list[_Ar
     emit_body(-1)
     emit_loops(0)
     emit_tail(-1)
-    for index, emission in scalar_emissions:
-        for j, slot in enumerate(emission.slots):
-            w.line(f"O{index}_v[{j}] = {slot_value(slot)};")
+    for le in lowered.scalar_emissions:
+        for j, slot in enumerate(le.emission.slots):
+            w.line(f"O{le.index}_v[{j}] = {slot_value(slot)};")
     w.line("return 0;")
 
     unpack = "\n".join(

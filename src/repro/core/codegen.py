@@ -27,13 +27,12 @@ import io
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.lowering import lower_plan
 from repro.core.plan import (
-    BetaNode,
     CountTerm,
     Emission,
     EmissionSlot,
     FactorTerm,
-    GammaNode,
     KeyPart,
     MultiOutputPlan,
     RowSumTerm,
@@ -91,6 +90,7 @@ def generate_group(plan: MultiOutputPlan, share_terms: bool = True) -> CompiledG
 
 def _generate_source(plan: MultiOutputPlan, share_terms: bool) -> str:
     num_rel = len(plan.relation_levels)
+    lowered = lower_plan(plan)
     w = _Writer()
     w.line(f"# generated multi-output plan for {plan.group_name} at node {plan.node}")
     w.line(f"# order: {plan.order}")
@@ -120,20 +120,10 @@ def _generate_source(plan: MultiOutputPlan, share_terms: bool) -> str:
         out_var[emission.artifact] = f"O{i}"
         w.line(f"O{i} = {{}}")
 
-    # ------------- static schedule ------------------------------------------
-    scalar_bindings_at: dict[int, list] = {}
-    blocks_at: dict[int, list] = {}
-    block_by_index = {cb.index: cb for cb in plan.carried_blocks}
-    binding_by_view = {b.view: b for b in plan.bindings}
-    for binding in plan.bindings:
-        if binding.is_carried:
-            blocks_at.setdefault(binding.bind_level, []).append(binding)
-        else:
-            scalar_bindings_at.setdefault(binding.bind_level, []).append(binding)
-    subsums_by_block: dict[int, list[SubSumTerm]] = {}
-    for term in plan.subsums:
-        subsums_by_block.setdefault(term.block, []).append(term)
-
+    # ------------- static schedule (the shared lowering) --------------------
+    # All per-level bucketing — probes, γ/β placement, emission hosting —
+    # comes from repro.core.lowering; only term hoisting (a generated-code
+    # concern gated by share_terms) stays local to this backend.
     term_vars: dict[tuple, str] = {}
     term_var_count = 0
 
@@ -169,14 +159,6 @@ def _generate_source(plan: MultiOutputPlan, share_terms: bool) -> str:
         return var
 
     hoisted_terms_at: dict[int, list[tuple[str, str]]] = {}
-    gammas_at: dict[int, list[GammaNode]] = {}
-    for node in plan.gammas:
-        gammas_at.setdefault(node.level, []).append(node)
-    beta_inits_at: dict[int, list[BetaNode]] = {}
-    beta_accums_at: dict[int, list[BetaNode]] = {}
-    for node in plan.betas:
-        beta_inits_at.setdefault(node.reset_level, []).append(node)
-        beta_accums_at.setdefault(node.level, []).append(node)
 
     # Pre-resolve every term expression so hoisted vars land on their levels.
     gamma_exprs: dict[int, list[str]] = {}
@@ -207,61 +189,42 @@ def _generate_source(plan: MultiOutputPlan, share_terms: bool) -> str:
             pieces.append(f"_ca{cf.block}[{cf.agg_index}]")
         return " * ".join(pieces) if pieces else "1.0"
 
-    # Emissions grouped by the level whose body hosts them.
-    emissions_at: dict[int, list[Emission]] = {}
-    for emission in plan.emissions:
-        host = max((s.level for s in emission.slots), default=-1)
-        if emission.aligned or _is_scalar(emission):
-            emissions_at.setdefault(emission.slots[0].level, []).append(emission)
-        else:
-            # Each slot group is hosted at its own level; split below.
-            for slot in emission.slots:
-                emissions_at.setdefault(slot.level, [])
-            emissions_at.setdefault(host, [])
-    # For unaligned emissions we emit per (level, key) slot groups; the
-    # grouping is shared with the NumPy lowering (Emission.slot_groups).
-    slot_groups_at: dict[int, list[tuple[Emission, tuple[EmissionSlot, ...]]]] = {}
-    for emission in plan.emissions:
-        if emission.aligned or _is_scalar(emission):
-            continue
-        for (level, _parts, _blocks, _support), slots in emission.slot_groups():
-            slot_groups_at.setdefault(level, []).append((emission, slots))
-
     def emit_term_vars(level: int) -> None:
         for var, expr in hoisted_terms_at.get(level, ()):  # stable order
             w.line(f"{var} = {expr}")
 
     def emit_gammas(level: int) -> None:
-        for node in gammas_at.get(level, ()):
+        for node in lowered.level(level).gammas:
             exprs = list(gamma_exprs[node.id])
             if node.parent is not None:
                 exprs = [f"g{node.parent}"] + exprs
             w.line(f"g{node.id} = {' * '.join(exprs)}")
 
     def emit_beta_inits(level: int) -> None:
-        for node in beta_inits_at.get(level, ()):
+        for node in lowered.level(level).beta_inits:
             w.line(f"b{node.id} = 0.0")
 
     def emit_beta_accums(level: int) -> None:
-        for node in beta_accums_at.get(level, ()):
+        for node in lowered.level(level).beta_accums:
             exprs = list(beta_exprs[node.id])
             if node.child is not None:
                 exprs.append(f"b{node.child}")
             w.line(f"b{node.id} += {' * '.join(exprs)}")
 
     def emit_probes(level: int) -> None:
-        for binding in scalar_bindings_at.get(level, ()):
+        schedule = lowered.level(level)
+        for binding in schedule.scalar_probes:
             bv = binding_var[binding.view]
             key = _binding_key_expr(binding)
             w.line(f"t_{bv} = {bv}.get({key})")
             w.line(f"if t_{bv} is None: continue")
-        for binding in blocks_at.get(level, ()):
+        for binding in schedule.carried_probes:
             bv = binding_var[binding.view]
             block = binding.block
             key = _binding_key_expr(binding)
             w.line(f"E{block} = {bv}.get({key})")
             w.line(f"if E{block} is None: continue")
-            subs = subsums_by_block.get(block, ())
+            subs = lowered.block_subsums(block)
             if subs:
                 for term in subs:
                     w.line(f"ss_{term.block}_{term.agg_index} = 0.0")
@@ -329,11 +292,11 @@ def _generate_source(plan: MultiOutputPlan, share_terms: bool) -> str:
 
     def emit_level_tail(level: int) -> None:
         emit_beta_accums(level)
-        for emission in emissions_at.get(level, ()):
-            if emission.aligned:
-                emit_aligned(emission)
-        for emission, slots in slot_groups_at.get(level, ()):
-            emit_slot_group(emission, slots)
+        schedule = lowered.level(level)
+        for lowered_emission in schedule.aligned_emissions:
+            emit_aligned(lowered_emission.emission)
+        for group in schedule.slot_groups:
+            emit_slot_group(group.emission, group.slots)
 
     # ------------------------- emit the loop nest -----------------------------
     emit_term_vars(-1)
@@ -364,11 +327,11 @@ def _generate_source(plan: MultiOutputPlan, share_terms: bool) -> str:
     emit_level_tail(-1)
 
     # scalar emissions after all loops
-    for emission in plan.emissions:
-        if _is_scalar(emission):
-            ov = out_var[emission.artifact]
-            values = ", ".join(slot_value_expr(s) for s in emission.slots)
-            w.line(f"{ov}[()] = [{values}]")
+    for lowered_emission in lowered.scalar_emissions:
+        emission = lowered_emission.emission
+        ov = out_var[emission.artifact]
+        values = ", ".join(slot_value_expr(s) for s in emission.slots)
+        w.line(f"{ov}[()] = [{values}]")
 
     results = ", ".join(
         f"{emission.artifact!r}: {out_var[emission.artifact]}"
@@ -377,10 +340,6 @@ def _generate_source(plan: MultiOutputPlan, share_terms: bool) -> str:
     w.line(f"return {{{results}}}")
     w.pop()
     return w.text()
-
-
-def _is_scalar(emission: Emission) -> bool:
-    return not emission.group_by
 
 
 def _binding_key_expr(binding) -> str:

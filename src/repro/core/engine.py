@@ -39,6 +39,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 
+from repro.core import costmodel
 from repro.core.codegen import CompiledGroup, generate_group
 from repro.core.decompose import decompose_group
 from repro.core.groups import GroupPlan, build_groups
@@ -157,15 +158,34 @@ class EngineConfig:
         ``"numpy"`` (whole-level array programs over the same trie —
         segment-reduction sums, vectorized probes, CSR entry-list
         expansion for carried views; every plan shape runs natively, no
-        fallback class), or ``"c"`` (generated C compiled with gcc,
+        fallback class), ``"c"`` (generated C compiled with gcc,
         per-group fallback to Python when a plan uses carried blocks or
         non-integer keys; ``compile()`` raises ``PlanError`` if gcc is
-        missing). The C backend's ctypes calls release the GIL and the
-        generated functions are reentrant, so ``workers > 1`` gives real
+        missing), or ``"auto"`` (the cost model picks per group at
+        execution time: tiny tries stay on interpreted Python, larger
+        ones run compiled C when the group has a C implementation, else
+        NumPy — see :func:`repro.core.costmodel.choose_backend`; gcc
+        missing is not an error, the C candidates just stay absent).
+        ``"auto"`` requires ``adaptive=True`` and the thread executor.
+        The C backend's ctypes calls release the GIL and the generated
+        functions are reentrant, so ``workers > 1`` gives real
         multicore scaling there; NumPy releases the GIL inside large
         kernels (partial scaling, no gcc needed); the Python backend
         stays GIL-serialised but goes through the same scheduler and
         merge paths;
+    ``adaptive`` (bool, default True)
+        no value validation (any truthy value works, but
+        ``backend="auto"`` demands it on). ``True`` lets the cost model
+        (:mod:`repro.core.costmodel`) treat ``partitions``, ``workers``
+        and the NumPy grouping strategy as **advisory upper bounds**:
+        partition fan-out is capped at the threads that can actually run
+        concurrently, hash emissions switch to sort-based grouping when
+        their keys are nearly unique, and ``backend="auto"`` picks a
+        backend per group. ``False`` restores the literal static knobs
+        (the ablation baseline). Adaptive decisions are data-dependent
+        and re-decided per execution — they never enter compiled
+        artefacts or the serving layer's structural fingerprints
+        (:class:`EngineConfig` itself, including this flag, does);
     ``executor`` (str, default "thread")
         must be ``"thread"`` or ``"process"``. ``"thread"`` keeps both
         parallelism axes on the in-process thread pool (real scaling only
@@ -208,7 +228,7 @@ class EngineConfig:
         >>> EngineConfig(backend="rust").validate()
         Traceback (most recent call last):
             ...
-        repro.util.errors.PlanError: EngineConfig.backend must be one of 'python', 'numpy', 'c', got 'rust'
+        repro.util.errors.PlanError: EngineConfig.backend must be one of 'python', 'numpy', 'c', 'auto', got 'rust'
         >>> EngineConfig(partitions=4).validate().partitions
         4
     """
@@ -226,6 +246,7 @@ class EngineConfig:
     parallel_threshold: int = 8192
     backend: str = "python"
     executor: str = "thread"
+    adaptive: bool = True
     incremental_mode: str = "auto"
     incremental_cutoff: bool = True
 
@@ -314,6 +335,10 @@ class CompiledBatch:
     #: library keeping the symbols alive.
     native_groups: list = field(default_factory=list)
     c_library: object | None = None
+    #: under ``backend="auto"``: the per-group compiled-C candidates the
+    #: cost model may pick over the NumPy groups in ``native_groups``
+    #: (all None when gcc is unavailable or a plan is unsupported).
+    c_groups: list = field(default_factory=list)
 
     @property
     def native_group_count(self) -> int:
@@ -353,6 +378,11 @@ class RunResult:
     timings: dict[str, float]
     group_times: dict[str, float] = field(default_factory=dict)
     snapshot_version: int = 0
+    #: per-group execution decisions the cost model made for this run
+    #: (backend, partition count, grouping strategy per hash emission) —
+    #: see :func:`repro.core.costmodel.group_decision`. Data-dependent
+    #: observability only; never part of compiled artefacts.
+    decisions: dict[str, dict] = field(default_factory=dict)
 
     def __getitem__(self, query_name: str) -> QueryResult:
         return self.results[query_name]
@@ -420,6 +450,7 @@ class LMFAO:
                 self._mpexec = mpexec.ProcessExecutor(
                     workers=self.config.workers,
                     backend=self.config.backend,
+                    adaptive=self.config.adaptive,
                     share_terms=self.config.share_scan_terms,
                     attribute_kinds={
                         attr: schema.attribute_kind(attr).value
@@ -483,13 +514,25 @@ class LMFAO:
             code.append(generate_group(plan, share_terms=config.share_scan_terms))
 
         native_groups: list = [None] * len(plans)
+        c_groups: list = [None] * len(plans)
         c_library = None
         if config.backend == "c":
             native_groups, c_library = self._compile_native(plans)
         elif config.backend == "numpy":
             from repro.core import npbackend
 
-            native_groups = npbackend.compile_numpy_groups(plans)
+            native_groups = npbackend.compile_numpy_groups(
+                plans, adaptive=config.adaptive
+            )
+        elif config.backend == "auto":
+            from repro.core import npbackend
+
+            native_groups = npbackend.compile_numpy_groups(plans, adaptive=True)
+            try:
+                c_groups, c_library = self._compile_native(plans)
+            except PlanError:
+                # no gcc on this machine: auto degrades to python/numpy.
+                c_groups = [None] * len(plans)
 
         execution_order = _topological_order(group_plan)
         return CompiledBatch(
@@ -507,6 +550,7 @@ class LMFAO:
             execution_order=execution_order,
             native_groups=native_groups,
             c_library=c_library,
+            c_groups=c_groups,
         )
 
     def _compile_native(self, plans: list[MultiOutputPlan]):
@@ -582,6 +626,8 @@ class LMFAO:
             shared = compiled.shared_predicates
             batch = compiled.batch
         group_times: dict[str, float] = {}
+        decisions: dict[str, dict] = {}
+        concurrency = self._partition_concurrency()
         view_data: dict[str, dict] = {}
         view_group_by = {
             name: view.group_by for name, view in compiled.view_plan.views.items()
@@ -601,12 +647,12 @@ class LMFAO:
             ):
                 self._run_process(
                     compiled, view_data, view_group_by, store_outputs,
-                    group_times, snapshot, functions, shared,
+                    group_times, snapshot, functions, shared, decisions,
                 )
             elif config.workers > 1:
                 self._run_parallel(
                     compiled, view_data, view_group_by, store_outputs,
-                    group_times, snapshot, functions, shared,
+                    group_times, snapshot, functions, shared, decisions,
                 )
             else:
                 for index in compiled.execution_order:
@@ -614,13 +660,16 @@ class LMFAO:
                     plan = compiled.plans[index]
                     start = time.perf_counter()
                     trie = self._trie(plan.node, plan.order, shared, snapshot)
-                    native = (
-                        compiled.native_groups[index]
-                        if compiled.native_groups
-                        else None
+                    native, backend = self._select_native(
+                        compiled, index, trie.num_rows
                     )
                     tries = partition_tries(
-                        plan, trie, config.partitions, config.parallel_threshold
+                        plan, trie, config.partitions,
+                        config.parallel_threshold, concurrency,
+                    )
+                    decisions[group.name] = costmodel.group_decision(
+                        plan, trie, backend=backend, partitions=len(tries),
+                        adaptive=config.adaptive,
                     )
                     outputs = execute_plan_partitioned(
                         compiled.code[index],
@@ -645,6 +694,7 @@ class LMFAO:
             timings=watch.laps,
             group_times=group_times,
             snapshot_version=snapshot.version,
+            decisions=decisions,
         )
 
     # ------------------------------------------------------------------ helpers
@@ -670,6 +720,34 @@ class LMFAO:
     ) -> TrieIndex:
         return node_trie(snapshot.db, node, order, shared, snapshot.tries)
 
+    def _partition_concurrency(self) -> int | None:
+        """The concurrency cap :func:`partition_tries` should respect, or
+        None under ``adaptive=False`` (literal static fan-out)."""
+        if not self.config.adaptive:
+            return None
+        return costmodel.effective_concurrency(self.config)
+
+    def _select_native(self, compiled: CompiledBatch, index: int, rows: int):
+        """One group's native implementation and the backend name it runs.
+
+        Static backends return the compiled batch's artefact verbatim
+        (``None`` = generated Python, also the C backend's per-plan
+        fallback); ``backend="auto"`` asks the cost model to pick per
+        group from the trie's row count — interpreted Python for tiny
+        tries, compiled C when this group has a C candidate, else NumPy.
+        """
+        config = self.config
+        if config.backend == "auto":
+            c_group = compiled.c_groups[index] if compiled.c_groups else None
+            choice = costmodel.choose_backend(rows, c_group is not None)
+            if choice == "c":
+                return c_group, "c"
+            if choice == "numpy":
+                return compiled.native_groups[index], "numpy"
+            return None, "python"
+        native = compiled.native_groups[index] if compiled.native_groups else None
+        return native, (config.backend if native is not None else "python")
+
     def _run_process(
         self,
         compiled: CompiledBatch,
@@ -680,6 +758,7 @@ class LMFAO:
         snapshot: Snapshot,
         functions: dict[str, Function],
         shared: tuple[Predicate, ...],
+        decisions: dict[str, dict],
     ) -> None:
         """Domain parallelism across worker processes (``executor="process"``).
 
@@ -695,6 +774,7 @@ class LMFAO:
         can never unlink a segment a worker still maps.
         """
         config = self.config
+        concurrency = self._partition_concurrency()
         executor = self._process_executor()
         executor.retain(snapshot.version)
         try:
@@ -704,7 +784,14 @@ class LMFAO:
                 start = time.perf_counter()
                 trie = self._trie(plan.node, plan.order, shared, snapshot)
                 tries = partition_tries(
-                    plan, trie, config.partitions, config.parallel_threshold
+                    plan, trie, config.partitions,
+                    config.parallel_threshold, concurrency,
+                )
+                decisions[group.name] = costmodel.group_decision(
+                    plan, trie,
+                    backend=self._select_native(compiled, index, trie.num_rows)[1],
+                    partitions=len(tries),
+                    adaptive=config.adaptive,
                 )
                 outputs = self._execute_group_partitioned(
                     compiled, index, tries, view_data, view_group_by,
@@ -741,7 +828,9 @@ class LMFAO:
         from repro.core import mpexec
 
         plan = compiled.plans[index]
-        native = compiled.native_groups[index] if compiled.native_groups else None
+        native, _backend = self._select_native(
+            compiled, index, sum(t.num_rows for t in tries)
+        )
         if (
             snapshot is not None
             and self.config.executor == "process"
@@ -790,6 +879,7 @@ class LMFAO:
         snapshot: Snapshot,
         functions: dict[str, Function],
         shared: tuple[Predicate, ...],
+        decisions: dict[str, dict],
     ) -> None:
         """Event-driven scheduler over both parallelism axes.
 
@@ -821,15 +911,24 @@ class LMFAO:
         outstanding: dict[int, int] = {}  # index -> partitions still running
         started: dict[int, float] = {}
 
+        concurrency = self._partition_concurrency()
+
         def prepare(index: int):
             started[index] = time.perf_counter()
             plan = compiled.plans[index]
             trie = self._trie(plan.node, plan.order, shared, snapshot)
-            native = (
-                compiled.native_groups[index] if compiled.native_groups else None
-            )
+            native, backend = self._select_native(compiled, index, trie.num_rows)
             tries = partition_tries(
-                plan, trie, config.partitions, config.parallel_threshold
+                plan, trie, config.partitions,
+                config.parallel_threshold, concurrency,
+            )
+            # distinct key per group; plain dict assignment is safe across
+            # the pool's threads.
+            decisions[compiled.group_plan.groups[index].name] = (
+                costmodel.group_decision(
+                    plan, trie, backend=backend, partitions=len(tries),
+                    adaptive=config.adaptive,
+                )
             )
             prepared = None
             if len(tries) > 1:
@@ -891,11 +990,16 @@ class LMFAO:
                         if consumer not in launched and remaining[consumer] <= done:
                             launch(consumer)
         except BaseException:
-            for future in pending:
-                future.cancel()
+            # Drop every half-merged partial so nothing incomplete can
+            # reach store_outputs, then cancel all queued tasks and wait
+            # out the running ones — ``cancel_futures`` covers tasks a
+            # worker thread may still be submitting results for, so the
+            # raise below never leaves the pool accepting work.
+            partial.clear()
+            outstanding.clear()
             raise
         finally:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 # ------------------------------------------------------------------ module fns
@@ -918,15 +1022,26 @@ def _validate_execution_config(config: EngineConfig) -> None:
             f"EngineConfig.parallel_threshold must be an integer >= 0 rows, "
             f"got {config.parallel_threshold!r}"
         )
-    if config.backend not in {"python", "numpy", "c"}:
+    if config.backend not in {"python", "numpy", "c", "auto"}:
         raise PlanError(
             f"EngineConfig.backend must be one of 'python', 'numpy', 'c', "
-            f"got {config.backend!r}"
+            f"'auto', got {config.backend!r}"
         )
     if config.executor not in {"thread", "process"}:
         raise PlanError(
             f"EngineConfig.executor must be one of 'thread', 'process', "
             f"got {config.executor!r}"
+        )
+    if config.backend == "auto" and not config.adaptive:
+        raise PlanError(
+            "EngineConfig.backend='auto' is a cost-model decision and "
+            "requires adaptive=True"
+        )
+    if config.backend == "auto" and config.executor == "process":
+        raise PlanError(
+            "EngineConfig.backend='auto' is not available with "
+            "executor='process' (worker processes warm one backend per "
+            "batch); pick an explicit backend"
         )
 
 

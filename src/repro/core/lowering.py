@@ -1,0 +1,226 @@
+"""The shared lowering layer: plan IR → one staged execution schedule.
+
+Historically each backend re-derived its own execution schedule from the
+:class:`~repro.core.plan.MultiOutputPlan` — the Python code generator, the
+NumPy array program and the C code generator each rebuilt "which probes
+fire at which level, which γ/β nodes initialise/accumulate where, which
+emissions live in which loop body" with three copies of the same dict
+bucketing. This module defines that schedule **once** (the
+``CompileState``/produce-consume shape of raco's compiler): a
+:func:`lower_plan` pass groups every plan construct by the trie level
+whose loop body hosts it, and all three backends consume the resulting
+:class:`LoweredPlan`.
+
+The lowering is **pure structure**: it depends only on the plan, never on
+data. Execution-strategy decisions — hash vs sort grouping for an
+emission, partition count, backend choice — are *data-dependent* and are
+re-decided per execution by :mod:`repro.core.costmodel`, exactly like
+re-bound predicate constants; they are deliberately absent from this IR
+(and therefore from the serving layer's structural fingerprints).
+
+Scheduling invariants preserved from the original per-backend code:
+
+* probes, γ nodes and β nodes keep **plan order** within a level (the
+  statement order of the generated code, which the NumPy backend's
+  operand order mirrors for bit-exactness);
+* β accumulation across levels is **deepest level first** — a chain's
+  child (strictly deeper) is fully reduced before its parent multiplies
+  it in (:attr:`LoweredPlan.beta_order`);
+* hash-emission slots partition by host ``(level, key parts, key blocks,
+  support)`` via :meth:`~repro.core.plan.Emission.slot_groups`, in
+  emission order then first-slot order;
+* aligned emissions host at their (single) slot level; scalar emissions
+  run in the epilogue, after all loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import (
+    BetaNode,
+    Emission,
+    EmissionSlot,
+    GammaNode,
+    MultiOutputPlan,
+    SubSumTerm,
+    ViewBinding,
+)
+
+#: emission execution modes, decided purely by plan structure.
+MODE_SCALAR = "scalar"
+MODE_ALIGNED = "aligned"
+MODE_HASH = "hash"
+
+
+def emission_mode(emission: Emission) -> str:
+    """``'scalar'`` (no group-by), ``'aligned'`` (assignment fast path),
+    or ``'hash'`` (probe-accumulate) — the one mode split every backend
+    dispatches on (the C backend renders ``'aligned'`` as array append)."""
+    if not emission.group_by:
+        return MODE_SCALAR
+    if emission.aligned:
+        return MODE_ALIGNED
+    return MODE_HASH
+
+
+@dataclass(frozen=True)
+class SlotGroupSchedule:
+    """One hash-emission slot group, hosted in one loop body.
+
+    ``emission_index`` is the emission's position in ``plan.emissions``
+    (the C backend addresses output buffers by it); ``slots`` share the
+    host ``(level, key parts, key blocks, support)``.
+    """
+
+    emission_index: int
+    emission: Emission
+    slots: tuple[EmissionSlot, ...]
+
+    @property
+    def first(self) -> EmissionSlot:
+        return self.slots[0]
+
+
+@dataclass(frozen=True)
+class LoweredEmission:
+    """One emission with its structural execution mode and slot groups."""
+
+    index: int
+    emission: Emission
+    mode: str
+    #: host-partitioned slot groups (non-empty only for ``'hash'`` mode).
+    slot_groups: tuple[SlotGroupSchedule, ...]
+
+
+@dataclass(frozen=True)
+class LevelSchedule:
+    """Everything hosted by one trie level's loop body (``level == -1`` is
+    the prologue/epilogue outside all loops).
+
+    ``probes`` keeps plan order (scalar and carried bindings interleaved,
+    the C backend's statement order); ``scalar_probes``/``carried_probes``
+    are the same bindings split by kind (the Python generator probes
+    scalars first — semantically equivalent since all probes at a level
+    AND into the same alive mask, but each backend keeps its historical
+    statement order).
+    """
+
+    level: int
+    probes: tuple[ViewBinding, ...]
+    scalar_probes: tuple[ViewBinding, ...]
+    carried_probes: tuple[ViewBinding, ...]
+    gammas: tuple[GammaNode, ...]
+    beta_inits: tuple[BetaNode, ...]
+    beta_accums: tuple[BetaNode, ...]
+    aligned_emissions: tuple[LoweredEmission, ...]
+    slot_groups: tuple[SlotGroupSchedule, ...]
+
+
+@dataclass(frozen=True)
+class LoweredPlan:
+    """The staged schedule all three backends execute.
+
+    ``levels`` holds one :class:`LevelSchedule` per trie level plus the
+    prologue/epilogue pseudo-level ``-1`` (access via :meth:`level`);
+    ``emissions`` is index-ordered with modes resolved;
+    ``scalar_emissions`` the epilogue writes; ``beta_order`` the global
+    deepest-first β evaluation order used by vectorised segment sums;
+    ``subsums_by_block`` the Σ-over-entries terms each carried block
+    computes at its bind level.
+    """
+
+    plan: MultiOutputPlan
+    num_levels: int
+    levels: tuple[LevelSchedule, ...]
+    emissions: tuple[LoweredEmission, ...]
+    scalar_emissions: tuple[LoweredEmission, ...]
+    beta_order: tuple[BetaNode, ...]
+    subsums_by_block: tuple[tuple[int, tuple[SubSumTerm, ...]], ...]
+
+    def level(self, k: int) -> LevelSchedule:
+        """The schedule hosted by level ``k`` (``-1`` = outside all loops)."""
+        return self.levels[k + 1]
+
+    def block_subsums(self, block: int) -> tuple[SubSumTerm, ...]:
+        for index, terms in self.subsums_by_block:
+            if index == block:
+                return terms
+        return ()
+
+
+def lower_plan(plan: MultiOutputPlan) -> LoweredPlan:
+    """Lower one plan to its staged schedule (pure, deterministic)."""
+    num_rel = len(plan.relation_levels)
+
+    probes_at: dict[int, list[ViewBinding]] = {}
+    for binding in plan.bindings:
+        probes_at.setdefault(binding.bind_level, []).append(binding)
+
+    gammas_at: dict[int, list[GammaNode]] = {}
+    for node in plan.gammas:
+        gammas_at.setdefault(node.level, []).append(node)
+    beta_inits_at: dict[int, list[BetaNode]] = {}
+    beta_accums_at: dict[int, list[BetaNode]] = {}
+    for node in plan.betas:
+        beta_inits_at.setdefault(node.reset_level, []).append(node)
+        beta_accums_at.setdefault(node.level, []).append(node)
+
+    lowered_emissions: list[LoweredEmission] = []
+    scalar_emissions: list[LoweredEmission] = []
+    aligned_at: dict[int, list[LoweredEmission]] = {}
+    slot_groups_at: dict[int, list[SlotGroupSchedule]] = {}
+    for index, emission in enumerate(plan.emissions):
+        mode = emission_mode(emission)
+        groups: tuple[SlotGroupSchedule, ...] = ()
+        if mode == MODE_HASH:
+            groups = tuple(
+                SlotGroupSchedule(index, emission, slots)
+                for _key, slots in emission.slot_groups()
+            )
+        lowered = LoweredEmission(index, emission, mode, groups)
+        lowered_emissions.append(lowered)
+        if mode == MODE_SCALAR:
+            scalar_emissions.append(lowered)
+        elif mode == MODE_ALIGNED:
+            aligned_at.setdefault(emission.slots[0].level, []).append(lowered)
+        else:
+            for group in groups:
+                slot_groups_at.setdefault(group.first.level, []).append(group)
+
+    levels = tuple(
+        LevelSchedule(
+            level=k,
+            probes=tuple(probes_at.get(k, ())),
+            scalar_probes=tuple(
+                b for b in probes_at.get(k, ()) if not b.is_carried
+            ),
+            carried_probes=tuple(
+                b for b in probes_at.get(k, ()) if b.is_carried
+            ),
+            gammas=tuple(gammas_at.get(k, ())),
+            beta_inits=tuple(beta_inits_at.get(k, ())),
+            beta_accums=tuple(beta_accums_at.get(k, ())),
+            aligned_emissions=tuple(aligned_at.get(k, ())),
+            slot_groups=tuple(slot_groups_at.get(k, ())),
+        )
+        for k in range(-1, num_rel)
+    )
+
+    subsums_by_block: dict[int, list[SubSumTerm]] = {}
+    for term in plan.subsums:
+        subsums_by_block.setdefault(term.block, []).append(term)
+
+    return LoweredPlan(
+        plan=plan,
+        num_levels=num_rel,
+        levels=levels,
+        emissions=tuple(lowered_emissions),
+        scalar_emissions=tuple(scalar_emissions),
+        beta_order=tuple(
+            sorted(plan.betas, key=lambda n: n.level, reverse=True)
+        ),
+        subsums_by_block=tuple(
+            (block, tuple(terms)) for block, terms in subsums_by_block.items()
+        ),
+    )

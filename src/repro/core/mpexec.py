@@ -300,7 +300,7 @@ def _close_quietly(shm: shared_memory.SharedMemory) -> None:
 
 def _warm_batch(payload):
     """Recompile one batch's plans in this process (the warm-up)."""
-    plans, backend, share_terms, attribute_kinds = payload
+    plans, backend, share_terms, attribute_kinds, adaptive = payload
     from repro.core.codegen import generate_group
 
     code = [generate_group(plan, share_terms=share_terms) for plan in plans]
@@ -313,7 +313,7 @@ def _warm_batch(payload):
     elif backend == "numpy":
         from repro.core import npbackend
 
-        natives = npbackend.compile_numpy_groups(plans)
+        natives = npbackend.compile_numpy_groups(plans, adaptive=adaptive)
     return plans, code, natives, library
 
 
@@ -450,9 +450,11 @@ class ProcessExecutor:
         share_terms: bool,
         attribute_kinds: dict[str, str],
         start_method: str | None = None,
+        adaptive: bool = True,
     ) -> None:
         self.workers = max(1, int(workers))
         self.backend = backend
+        self.adaptive = bool(adaptive)
         self.share_terms = share_terms
         self.attribute_kinds = dict(attribute_kinds)
         method = (
@@ -654,6 +656,7 @@ class ProcessExecutor:
                                 self.backend,
                                 self.share_terms,
                                 self.attribute_kinds,
+                                self.adaptive,
                             )
                         conn.send(("warm", key, payload))
                         self._warmed[worker].add(key)

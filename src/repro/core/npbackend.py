@@ -77,6 +77,14 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core import costmodel
+from repro.core.lowering import (
+    MODE_ALIGNED,
+    MODE_SCALAR,
+    LoweredEmission,
+    LoweredPlan,
+    lower_plan,
+)
 from repro.core.plan import (
     CountTerm,
     Emission,
@@ -116,10 +124,12 @@ def supports_plan(plan: MultiOutputPlan) -> bool:
     return all(binding.bind_level >= 0 for binding in plan.bindings)
 
 
-def compile_numpy_groups(plans: Sequence[MultiOutputPlan]) -> list:
+def compile_numpy_groups(
+    plans: Sequence[MultiOutputPlan], adaptive: bool = True
+) -> list:
     """Per-plan NumPy implementations (None = fall back to Python)."""
     return [
-        NumpyCompiledGroup(plan) if supports_plan(plan) else None
+        NumpyCompiledGroup(plan, adaptive=adaptive) if supports_plan(plan) else None
         for plan in plans
     ]
 
@@ -351,16 +361,20 @@ def _dense_codes(column: np.ndarray) -> tuple[np.ndarray, int]:
     return inverse.astype(np.int64), max(len(uniques), 1)
 
 
-def _group_codes(columns: list[np.ndarray]) -> tuple[np.ndarray, int, np.ndarray]:
-    """Group rows by their key tuple: ``(ids, num_keys, first_index)``.
+def _composite_codes(
+    columns: list[np.ndarray],
+) -> tuple[np.ndarray | None, int, int]:
+    """Mixed-radix composite code per row: ``(comp, space, n)``.
 
-    ``ids`` is a dense group id per row; ``first_index`` the first row of
-    each group (so representative key values are ``column[first_index]``).
-    Per-column codes combine in mixed radix; when the combined code space
-    stays modest the distinct codes are found with an O(n) bincount
-    presence scan instead of a sort.
+    Per-column codes combine in mixed radix; when a radix step would
+    overflow int64 the running composite is re-densified first. The
+    composite is **order-preserving**: both per-column code paths in
+    :func:`_dense_codes` map larger values to larger codes, so rows
+    ordered by composite are ordered lexicographically by key tuple —
+    which is why the hash and sort groupers below enumerate groups in
+    the same order.
     """
-    n = len(columns[0])
+    n = len(columns[0]) if columns else 0
     comp: np.ndarray | None = None
     space = 1
     for column in columns:
@@ -375,6 +389,18 @@ def _group_codes(columns: list[np.ndarray]) -> tuple[np.ndarray, int, np.ndarray
             space = max(len(uniques), 1)
         comp = comp * card + codes
         space *= card
+    return comp, space, n
+
+
+def _group_codes(columns: list[np.ndarray]) -> tuple[np.ndarray, int, np.ndarray]:
+    """Group rows by their key tuple: ``(ids, num_keys, first_index)``.
+
+    ``ids`` is a dense group id per row; ``first_index`` the first row of
+    each group (so representative key values are ``column[first_index]``).
+    When the combined code space stays modest the distinct codes are
+    found with an O(n) bincount presence scan instead of a sort.
+    """
+    comp, space, n = _composite_codes(columns)
     if comp is None or n == 0:
         return np.zeros(0, dtype=np.int64), 0, np.zeros(0, dtype=np.int64)
     if space <= max(4 * n, 1024):
@@ -390,6 +416,103 @@ def _group_codes(columns: list[np.ndarray]) -> tuple[np.ndarray, int, np.ndarray
     first_index = np.empty(num_keys, dtype=np.int64)
     first_index[ids[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
     return ids, num_keys, first_index
+
+
+def _sorted_group_codes(
+    columns: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Sort-based grouping: ``(order, starts, first_index, num_keys)``.
+
+    ``order`` is the stable argsort of the composite codes, ``starts``
+    the group boundaries within the sorted permutation. Stability keeps
+    rows in original (trie) order within each group, so ``order[starts]``
+    is each group's first occurrence and segment sums add in the same
+    per-key order as the hash grouper's bincount — on integer-valued
+    data the two paths are bit-identical, group order included (both
+    enumerate groups by ascending composite code).
+
+    The permutation comes from a **packed value sort** when it fits:
+    ``sort(comp * n + row_index)`` recovers a stable order via divmod,
+    and NumPy sorts raw int64 values several times faster than it
+    argsorts them — this is what makes the sort path competitive with
+    the hash grouper's ``np.unique`` fallback on nearly-unique keys.
+    """
+    comp, space, n = _composite_codes(columns)
+    if comp is None or n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty, 0
+    if space < _CODE_LIMIT // max(n, 1):
+        packed = np.sort(comp * n + np.arange(n, dtype=np.int64))
+        order = packed % n
+        sorted_comp = packed // n
+    else:
+        order = np.argsort(comp, kind="stable")
+        sorted_comp = comp[order]
+    is_start = np.ones(n, dtype=bool)
+    is_start[1:] = sorted_comp[1:] != sorted_comp[:-1]
+    starts = np.flatnonzero(is_start)
+    return order, starts, order[starts], len(starts)
+
+
+class _HashGrouper:
+    """Dense-code grouping: per-key sums scatter via ``np.bincount``."""
+
+    strategy = costmodel.STRATEGY_HASH
+
+    def __init__(self, ids: np.ndarray, num_keys: int, first_index: np.ndarray):
+        self.ids = ids
+        self.num_keys = num_keys
+        self.first_index = first_index
+
+    @classmethod
+    def build(cls, columns: list[np.ndarray]) -> "_HashGrouper":
+        return cls(*_group_codes(columns))
+
+    def accumulate(self, values: np.ndarray) -> np.ndarray:
+        return np.bincount(self.ids, weights=values, minlength=self.num_keys)
+
+    def fired(self, mask: np.ndarray) -> np.ndarray:
+        return np.bincount(self.ids[mask], minlength=self.num_keys) > 0
+
+
+class _SortGrouper:
+    """Sort-based grouping: per-key sums gather via ``np.add.reduceat``
+    over the argsorted permutation — the cost model picks this when keys
+    are nearly unique and dense-code scatter degenerates."""
+
+    strategy = costmodel.STRATEGY_SORT
+
+    def __init__(self, order: np.ndarray, starts: np.ndarray,
+                 first_index: np.ndarray, num_keys: int):
+        self.order = order
+        self.starts = starts
+        self.num_keys = num_keys
+        self.first_index = first_index
+
+    @classmethod
+    def build(cls, columns: list[np.ndarray]) -> "_SortGrouper":
+        return cls(*_sorted_group_codes(columns))
+
+    def accumulate(self, values: np.ndarray) -> np.ndarray:
+        if self.num_keys == 0:
+            return np.zeros(0, dtype=np.float64)
+        return np.add.reduceat(values[self.order], self.starts)
+
+    def fired(self, mask: np.ndarray) -> np.ndarray:
+        if self.num_keys == 0:
+            return np.zeros(0, dtype=bool)
+        return (
+            np.add.reduceat(
+                mask[self.order].astype(np.float64), self.starts
+            )
+            > 0
+        )
+
+
+def _make_grouper(columns: list[np.ndarray], strategy: str):
+    if strategy == costmodel.STRATEGY_SORT:
+        return _SortGrouper.build(columns)
+    return _HashGrouper.build(columns)
 
 
 class _PlanEvaluation:
@@ -409,11 +532,17 @@ class _PlanEvaluation:
         trie: TrieIndex,
         tables: Mapping[str, object],
         functions: Mapping[str, Function],
+        lowered: LoweredPlan | None = None,
+        strategies: Mapping[str, str] | None = None,
     ) -> None:
         self.plan = plan
         self.trie = trie
         self.tables = tables
         self.functions = functions
+        self.lowered = lowered if lowered is not None else lower_plan(plan)
+        #: per-artifact grouping strategy ('hash' | 'sort') from the cost
+        #: model; None / missing artifact = hash (the static default).
+        self.strategies = strategies or {}
         self.num_rel = len(plan.relation_levels)
         self.cache = trie._np_cache
         self._terms: dict[tuple, object] = {}
@@ -558,14 +687,11 @@ class _PlanEvaluation:
         that is the alive mask — local found masks ANDed with the parent
         level's mask mapped down. ``None`` means all runs alive (no probes
         at or above the level)."""
-        at_level: dict[int, list[ViewBinding]] = {}
-        for binding in self.plan.bindings:
-            at_level.setdefault(binding.bind_level, []).append(binding)
         mask: np.ndarray | None = None
         for k in range(self.num_rel):
             if mask is not None:
                 mask = mask[self.parent(k)]
-            for binding in at_level.get(k, ()):
+            for binding in self.lowered.level(k).probes:
                 columns = [
                     self.full(self.down(self.level_values(j), j, k), k)
                     for j in binding.key_levels
@@ -594,10 +720,11 @@ class _PlanEvaluation:
             self._gamma[node.id] = value
 
     def _run_betas(self) -> None:
-        # Deepest levels first: a chain's child (strictly deeper) is
-        # reduced to its reset level — the parent's level — before the
-        # parent multiplies it in, mirroring the nested loop tails.
-        for node in sorted(self.plan.betas, key=lambda n: n.level, reverse=True):
+        # Deepest levels first (LoweredPlan.beta_order): a chain's child
+        # (strictly deeper) is reduced to its reset level — the parent's
+        # level — before the parent multiplies it in, mirroring the
+        # nested loop tails.
+        for node in self.lowered.beta_order:
             k = node.level
             value = None
             for term in node.terms:
@@ -672,28 +799,33 @@ class _PlanEvaluation:
             matrix = matrix[mask]
         return ArrayViewData.from_arrays(keys, matrix)
 
-    def _hash_key_table(self, k: int, key_parts) -> tuple:
+    def _strategy(self, emission: Emission) -> str:
+        return self.strategies.get(emission.artifact, costmodel.STRATEGY_HASH)
+
+    def _key_table(self, k: int, key_parts, strategy: str) -> tuple:
         """The level-k runs grouped by their emission key (cached on trie).
 
         Key columns are trie level values broadcast down ancestor maps —
-        a pure function of the index — so the grouping (dense group id
-        per run, representative key values per group) is computed once
-        and shared across executions and plans on the same index.
+        a pure function of the index — so the grouping (a strategy-tagged
+        grouper plus representative key values per group) is computed
+        once and shared across executions and plans on the same index.
+        The cache key includes the strategy: hash and sort groupings are
+        distinct derived structures over the same columns.
         """
-        key = ("hashkeys", k, tuple(part.level for part in key_parts))
+        key = ("groupkeys", strategy, k, tuple(part.level for part in key_parts))
         got = self.cache.get(key)
         if got is None:
             columns = self._key_columns(key_parts, k)
-            ids, num_keys, first_index = _group_codes(columns)
-            representative = [column[first_index] for column in columns]
-            got = (ids, num_keys, representative)
+            grouper = _make_grouper(columns, strategy)
+            representative = [column[grouper.first_index] for column in columns]
+            got = (grouper, representative)
             self.cache[key] = got
         return got
 
-    def _hash_output(self, emission: Emission) -> dict:
-        if emission.has_carried_keys:
-            return self._carried_hash_output(emission)
-        return self._plain_hash_output(emission)
+    def _hash_output(self, lowered: LoweredEmission) -> dict:
+        if lowered.emission.has_carried_keys:
+            return self._carried_hash_output(lowered)
+        return self._plain_hash_output(lowered.emission)
 
     def _plain_hash_output(self, emission: Emission) -> ArrayViewData:
         """Probe-accumulate emissions as a masked group-by over runs.
@@ -703,10 +835,13 @@ class _PlanEvaluation:
         key parts come straight from the group-by); slots differ only in
         their support guard, so they are grouped per guard like the code
         generator groups them. Each slot contributes per-run values that
-        ``np.bincount`` sums per key-group id — in input (trie) order,
-        like the interpreted dict accumulation; dead runs contribute an
-        exact 0.0. A key exists iff some guarded group had a surviving
-        run under it, matching the generated probe-accumulate exactly.
+        the grouper sums per key — in input (trie) order, like the
+        interpreted dict accumulation, whether it scatters
+        (``np.bincount``, hash strategy) or gathers (stable argsort +
+        ``np.add.reduceat``, sort strategy — the cost model's pick for
+        nearly-unique keys); dead runs contribute an exact 0.0. A key
+        exists iff some guarded group had a surviving run under it,
+        matching the generated probe-accumulate exactly.
         """
         first = emission.slots[0]
         k, key_parts = first.level, first.key_parts
@@ -717,7 +852,10 @@ class _PlanEvaluation:
             raise PlanError(
                 f"{emission.artifact}: slots disagree on host level/key parts"
             )
-        ids, num_keys, representative = self._hash_key_table(k, key_parts)
+        grouper, representative = self._key_table(
+            k, key_parts, self._strategy(emission)
+        )
+        num_keys = grouper.num_keys
         by_support: dict[int | None, list[EmissionSlot]] = {}
         for slot in emission.slots:
             by_support.setdefault(slot.support, []).append(slot)
@@ -730,14 +868,10 @@ class _PlanEvaluation:
             if mask is None:
                 all_fired = True
             else:
-                partial_fired |= (
-                    np.bincount(ids[mask], minlength=num_keys) > 0
-                )
+                partial_fired |= grouper.fired(mask)
                 columns = [np.where(mask, column, 0.0) for column in columns]
             for slot, column in zip(slots, columns):
-                matrix[:, slot.slot] += np.bincount(
-                    ids, weights=column, minlength=num_keys
-                )
+                matrix[:, slot.slot] += grouper.accumulate(column)
         if not all_fired and num_keys and not partial_fired.all():
             representative = [column[partial_fired] for column in representative]
             matrix = matrix[partial_fired]
@@ -836,35 +970,43 @@ class _PlanEvaluation:
             value = np.ones(len(sel), dtype=np.float64)
         return value
 
-    def _carried_hash_output(self, emission: Emission) -> dict:
+    def _carried_hash_output(self, lowered: LoweredEmission) -> dict:
         """Carried-keyed emissions: expand runs by entries, then group.
 
         One expansion per slot group — the same ``(level, key parts, key
         blocks, support)`` partition the code generator nests entry loops
-        for (:meth:`Emission.slot_groups`). Key columns gather from trie
-        levels (``'rel'`` parts, via ancestor maps) and the flattened
-        carried columns (``'car'`` parts, via the expanded entry
-        indices); each slot's per-pair values accumulate with
-        ``np.bincount`` in expansion (= trie × entry-list) order,
+        for (:attr:`LoweredEmission.slot_groups`). Key columns gather
+        from trie levels (``'rel'`` parts, via ancestor maps) and the
+        flattened carried columns (``'car'`` parts, via the expanded
+        entry indices); each slot's per-pair values accumulate through
+        the strategy's grouper in expansion (= trie × entry-list) order,
         matching the interpreted nested loops. With a single slot group
         (every plan the tree planner emits today) the result keeps
         columnar arrays; heterogeneous groups merge per key into a plain
         dict — a key exists iff some group's surviving pair emitted under
         it, exactly like the generated first-touch inserts.
         """
+        emission = lowered.emission
+        strategy = self._strategy(emission)
         parts = []
-        for (level, key_parts, key_blocks, support), slots in emission.slot_groups():
-            sel, entry_idx = self._expand_entries(level, key_blocks, support)
+        for group in lowered.slot_groups:
+            first, slots = group.first, group.slots
+            level, key_parts = first.level, first.key_parts
+            sel, entry_idx = self._expand_entries(
+                level, first.key_blocks, first.support
+            )
             columns = self._expanded_key_columns(key_parts, level, sel, entry_idx)
-            ids, num_keys, first_index = _group_codes(columns)
-            matrix = np.zeros((num_keys, emission.width))
+            grouper = _make_grouper(columns, strategy)
+            matrix = np.zeros((grouper.num_keys, emission.width))
             for slot in slots:
                 value = self._expanded_slot_value(slot, level, sel, entry_idx)
-                matrix[:, slot.slot] = np.bincount(
-                    ids, weights=value, minlength=num_keys
-                )
+                matrix[:, slot.slot] = grouper.accumulate(value)
             parts.append(
-                ([column[first_index] for column in columns], slots, matrix)
+                (
+                    [column[grouper.first_index] for column in columns],
+                    slots,
+                    matrix,
+                )
             )
         if len(parts) == 1:
             columns, _, matrix = parts[0]
@@ -893,13 +1035,14 @@ class _PlanEvaluation:
         self._run_gammas()
         self._run_betas()
         out: dict[str, dict] = {}
-        for emission in self.plan.emissions:
-            if not emission.group_by:
+        for lowered in self.lowered.emissions:
+            emission = lowered.emission
+            if lowered.mode == MODE_SCALAR:
                 out[emission.artifact] = self._scalar_output(emission)
-            elif emission.aligned:
+            elif lowered.mode == MODE_ALIGNED:
                 out[emission.artifact] = self._aligned_output(emission)
             else:
-                out[emission.artifact] = self._hash_output(emission)
+                out[emission.artifact] = self._hash_output(lowered)
         return out
 
 
@@ -917,12 +1060,18 @@ class NumpyCompiledGroup:
     incremental maintainer drive it unchanged.
     """
 
-    def __init__(self, plan: MultiOutputPlan) -> None:
+    def __init__(self, plan: MultiOutputPlan, adaptive: bool = True) -> None:
         if not supports_plan(plan):
             raise PlanError(
                 f"plan {plan.group_name} is not supported by the numpy backend"
             )
         self.plan = plan
+        #: the staged schedule (pure structure, shared across executions).
+        self.lowered = lower_plan(plan)
+        #: whether the cost model picks hash vs sort per emission at
+        #: execution time; False pins the static hash path (the
+        #: LMFAO_FORCE_STRATEGY override still applies either way).
+        self.adaptive = adaptive
 
     def prepare_bindings(
         self,
@@ -963,4 +1112,14 @@ class NumpyCompiledGroup:
             )
         if bind_entries is None:
             bind_entries = self.prepare_bindings(view_data, view_group_by)
-        return _PlanEvaluation(self.plan, trie, bind_entries, functions).outputs()
+        strategies = costmodel.resolve_strategies(
+            self.plan, trie, adaptive=self.adaptive
+        )
+        return _PlanEvaluation(
+            self.plan,
+            trie,
+            bind_entries,
+            functions,
+            lowered=self.lowered,
+            strategies=strategies,
+        ).outputs()

@@ -28,6 +28,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.core import costmodel
 from repro.core.plan import MultiOutputPlan, ViewBinding
 from repro.data.relation import Relation
 from repro.data.trie import TrieIndex
@@ -387,19 +388,33 @@ def prepare_bindings(
 
 
 def partition_tries(
-    plan: MultiOutputPlan, trie: TrieIndex, partitions: int, threshold: int
+    plan: MultiOutputPlan,
+    trie: TrieIndex,
+    partitions: int,
+    threshold: int,
+    concurrency: int | None = None,
 ) -> list[TrieIndex]:
     """The trie partitions one group should execute over (possibly just one).
 
-    Fan-out happens only when the configuration asks for it
-    (``partitions > 1``), the relation is big enough to amortise the
-    per-partition overhead (``num_rows >= threshold``), the plan's merge is
-    provably safe (:attr:`MultiOutputPlan.partition_safe`), and the trie
-    actually splits (≥ 2 level-0 runs).
+    ``partitions`` is an advisory upper bound. Fan-out happens only when
+    the configuration asks for it (``partitions > 1``), the plan's merge
+    is provably safe (:attr:`MultiOutputPlan.partition_safe`), and the
+    trie actually splits (≥ 2 level-0 runs). ``threshold`` is the minimum
+    number of rows *per partition*: a 10k-row trie at the default 8192
+    threshold now runs with one partition instead of splitting into four
+    ~2.5k-row slices whose per-partition overhead exceeds their work
+    (``threshold == 0`` forces the full fan-out — the differential test
+    grids pin it to exercise partitioned paths on any input size).
+    ``concurrency``, when given, further caps the fan-out at the number
+    of threads that can actually run the partitions concurrently
+    (:func:`repro.core.costmodel.effective_concurrency`).
     """
-    if partitions <= 1 or trie.num_rows < threshold or not plan.partition_safe:
+    k = costmodel.effective_partitions(
+        trie.num_rows, partitions, threshold, concurrency
+    )
+    if k <= 1 or not plan.partition_safe:
         return [trie]
-    return trie.partitions(partitions)
+    return trie.partitions(k)
 
 
 def merge_partial_outputs(

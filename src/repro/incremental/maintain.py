@@ -364,7 +364,8 @@ class MaintainedBatch:
         compiled = self.compiled
         plan = compiled.plans[index]
         tries = partition_tries(
-            plan, trie, self.config.partitions, self.config.parallel_threshold
+            plan, trie, self.config.partitions, self.config.parallel_threshold,
+            self._engine._partition_concurrency(),
         )
         return self._engine._execute_group_partitioned(
             compiled,

@@ -20,6 +20,15 @@ the parallel scheduler, the partition merge path and/or the chosen
 backend. Tests that construct explicit configs (including the
 differential grids, which pin ``backend="python"`` baselines) are
 unaffected.
+
+Two more knobs thread the cost-based adaptive layer through the suite:
+``LMFAO_TEST_ADAPTIVE=0`` rewrites the ``adaptive`` default (the static
+ablation baseline), and ``LMFAO_FORCE_STRATEGY=hash|sort|auto`` — read
+directly by :mod:`repro.core.costmodel` at execution time, not a default
+rewrite — pins the grouping strategy of every hash emission for the
+whole run (the ``tests-costmodel`` CI leg runs the suite once per forced
+strategy). An invalid value fails the session at collection rather than
+surfacing as per-test noise.
 """
 
 from __future__ import annotations
@@ -29,9 +38,12 @@ import os
 
 import pytest
 
-from repro.core import EngineConfig, LMFAO
+from repro.core import EngineConfig, LMFAO, costmodel
 from repro.data import favorita, retailer
 from repro.paper import FAVORITA_TREE
+
+# fail fast on a typo'd LMFAO_FORCE_STRATEGY before any test runs
+costmodel.forced_strategy()
 
 
 def _override_engine_defaults() -> None:
@@ -49,6 +61,9 @@ def _override_engine_defaults() -> None:
     executor = os.environ.get("LMFAO_TEST_EXECUTOR")
     if executor:
         overrides["executor"] = executor
+    adaptive = os.environ.get("LMFAO_TEST_ADAPTIVE")
+    if adaptive is not None:
+        overrides["adaptive"] = adaptive not in {"0", "false", ""}
     if not overrides:
         return
     names = [f.name for f in dataclasses.fields(EngineConfig)]
