@@ -25,6 +25,7 @@ from repro.baselines import MaterializedPipeline, SqlEngineBaseline
 from repro.core import CompiledBatch, EngineConfig, LMFAO, RunResult, Snapshot
 from repro.incremental import ApplyResult, MaintainedBatch, RelationDelta
 from repro.serve import AggregateServer, PlanCache, ServerStats
+from repro.util.errors import WriteOverloadError
 from repro.data import (
     Attribute,
     AttributeKind,
@@ -96,6 +97,7 @@ __all__ = [
     "Snapshot",
     "SqlEngineBaseline",
     "TrieIndex",
+    "WriteOverloadError",
     "assign_roots",
     "build_join_tree",
     "favorita",

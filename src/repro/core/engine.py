@@ -419,6 +419,9 @@ class LMFAO:
         self._snapshots = SnapshotStore(Snapshot(version=0, db=db, tries={}))
         self._mpexec = None
         self._mpexec_lock = threading.Lock()
+        # when a superseded version loses its last reader pin, drop its
+        # shared-memory trie segments too (no-op for the thread executor).
+        self._snapshots.add_reclaim_hook(self._reclaim_snapshot_version)
 
     # ----------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -465,8 +468,36 @@ class LMFAO:
         return self._snapshots.current().db
 
     def snapshot(self) -> Snapshot:
-        """Pin the current version: an immutable view of all data state."""
+        """Peek the current version: an immutable view of all data state.
+
+        The returned object is safe to read for as long as the caller
+        holds it (Python references keep it alive), but it does **not**
+        hold a GC pin — use :meth:`pin_snapshot` when the version's
+        auxiliary resources (shared-memory trie segments under
+        ``executor="process"``) must survive concurrent commits.
+        """
         return self._snapshots.current()
+
+    def pin_snapshot(self) -> Snapshot:
+        """Pin the current version against garbage collection.
+
+        Every call must be paired with exactly one
+        :meth:`release_snapshot` (pins are refcounted and nest).
+        :meth:`execute` pins internally; the serving layer additionally
+        pins across its async submission queue.
+        """
+        return self._snapshots.pin()
+
+    def release_snapshot(self, version: int) -> None:
+        """Release one :meth:`pin_snapshot` refcount; may trigger GC."""
+        self._snapshots.unpin(version)
+
+    def _reclaim_snapshot_version(self, version: int) -> None:
+        """Snapshot-GC hook: unlink the dead version's shm segments."""
+        with self._mpexec_lock:
+            executor = self._mpexec
+        if executor is not None:
+            executor.drop_version(version)
 
     @property
     def _trie_cache(self) -> dict:
@@ -574,13 +605,17 @@ class LMFAO:
 
         The snapshot is pinned *before* compilation: planning statistics
         and execution read the same database version even if maintenance
-        installs a successor mid-run.
+        installs a successor mid-run (the pin also keeps the version's
+        shared-memory segments mapped until the run completes).
         """
         watch = Stopwatch()
-        snapshot = self._snapshots.current()
-        with watch.lap("compile"):
-            compiled = self.compile(batch, snapshot=snapshot)
-        return self.execute(compiled, watch=watch, snapshot=snapshot)
+        snapshot = self._snapshots.pin()
+        try:
+            with watch.lap("compile"):
+                compiled = self.compile(batch, snapshot=snapshot)
+            return self.execute(compiled, watch=watch, snapshot=snapshot)
+        finally:
+            self._snapshots.unpin(snapshot.version)
 
     # -------------------------------------------------------------- incremental
     def maintain(self, batch: QueryBatch):
@@ -613,10 +648,32 @@ class LMFAO:
         ``binding`` re-binds per-request predicate constants onto a
         structurally cached compilation (see :class:`PlanBinding`); when
         None the compiled batch executes with its own constants.
+
+        The executed version is pinned for the duration (a caller-supplied
+        snapshot gains a nested pin), so snapshot GC can never reclaim it
+        — or unlink its shared-memory segments — mid-run.
         """
         watch = watch or Stopwatch()
         config = self.config
-        snapshot = snapshot if snapshot is not None else self._snapshots.current()
+        if snapshot is None:
+            snapshot = self._snapshots.pin()
+        else:
+            self._snapshots.repin(snapshot)
+        try:
+            return self._execute_pinned(
+                compiled, watch, snapshot, binding, config
+            )
+        finally:
+            self._snapshots.unpin(snapshot.version)
+
+    def _execute_pinned(
+        self,
+        compiled: CompiledBatch,
+        watch: Stopwatch,
+        snapshot: Snapshot,
+        binding: PlanBinding | None,
+        config: EngineConfig,
+    ) -> RunResult:
         if binding is not None:
             functions = binding.functions
             shared = binding.shared_predicates

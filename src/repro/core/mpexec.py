@@ -588,6 +588,34 @@ class ProcessExecutor:
                 self._segments[(version, trie_key)] = segment
             return segment.export
 
+    def drop_version(self, version: int) -> None:
+        """Unlink every segment of one garbage-collected snapshot version.
+
+        Called by the engine's snapshot-GC reclaim hook once no reader
+        pin can reach ``version``. A version still pinned *here* (a run
+        in flight between ``retain``/``release``) is left alone — the
+        executor's own :meth:`release` collects it once the run ends —
+        as is a closed executor (teardown already unlinks everything).
+        """
+        with self._lock:
+            if self._closed or version in self._pins:
+                return
+            stale = [
+                key
+                for key, segment in self._segments.items()
+                if segment.version == version
+            ]
+            if not stale:
+                return
+            names = [self._segments[key].export.segment for key in stale]
+            for conn in self._conns:
+                try:
+                    conn.send(("drop", names))
+                except Exception:
+                    pass
+            for key in stale:
+                _unlink_segment(self._segments.pop(key).shm)
+
     def segment_names(self) -> list[str]:
         """Names of the segments currently held (tests observe lifecycle)."""
         with self._lock:

@@ -29,6 +29,19 @@ of the current version, so lost updates from two concurrent writer
 lineages surface as a hard :class:`~repro.util.errors.PlanError` instead
 of silently dropping one writer's delta. See ``docs/serving.md`` for the
 full concurrency contract.
+
+**Garbage collection.** The store retains every installed snapshot until
+it is both *superseded* (a newer version was installed) and *unpinned*
+(no reader refcount through :meth:`SnapshotStore.pin` /
+:meth:`SnapshotStore.unpin` holds it). When a version becomes
+reclaimable, the store drops its own reference — Python frees the
+relations and tries once the last reader lets go — and fires every
+registered :meth:`SnapshotStore.add_reclaim_hook` callback with the dead
+version number, outside the store lock. The engine uses that hook to
+unlink the version's shared-memory trie segments under
+``executor="process"`` (:meth:`repro.core.mpexec.ProcessExecutor.drop_version`),
+so a sustained write workload holds a bounded number of live versions
+instead of accumulating one snapshot (and one segment set) per commit.
 """
 
 from __future__ import annotations
@@ -98,11 +111,20 @@ class SnapshotStore:
     handles on one engine, or a handle racing
     :meth:`repro.serve.AggregateServer.apply`); the second install raises
     rather than silently discarding the first writer's delta.
+
+    Reader pins (:meth:`pin` / :meth:`unpin`) refcount versions so the
+    garbage collector (see the module docstring) only reclaims versions
+    that are both superseded and unreferenced. :meth:`current` remains
+    the unpinned peek for callers that only need a consistent read and
+    hold the returned object themselves.
     """
 
     def __init__(self, initial: Snapshot) -> None:
         self._current = initial
         self._lock = threading.Lock()
+        self._pins: dict[int, int] = {}  # version -> reader refcount
+        self._retained: dict[int, Snapshot] = {initial.version: initial}
+        self._reclaim_hooks: list = []
 
     def current(self) -> Snapshot:
         """The latest installed snapshot (lock-free, never blocks)."""
@@ -112,13 +134,82 @@ class SnapshotStore:
     def version(self) -> int:
         return self._current.version
 
+    # ------------------------------------------------------------- pins & GC
+    def pin(self) -> Snapshot:
+        """Pin the current snapshot: read + refcount increment, atomically.
+
+        A pinned version survives being superseded — GC never reclaims it
+        until the matching :meth:`unpin`. Pins nest (refcounted); every
+        ``pin()``/``repin()`` must be paired with exactly one ``unpin()``.
+        """
+        with self._lock:
+            snapshot = self._current
+            self._pins[snapshot.version] = self._pins.get(snapshot.version, 0) + 1
+            return snapshot
+
+    def repin(self, snapshot: Snapshot) -> Snapshot:
+        """Add a pin to a version the caller already holds (nested scopes)."""
+        with self._lock:
+            self._pins[snapshot.version] = self._pins.get(snapshot.version, 0) + 1
+            return snapshot
+
+    def unpin(self, version: int) -> None:
+        """Drop one pin; reclaim any versions that just became unreachable."""
+        with self._lock:
+            count = self._pins.get(version, 0) - 1
+            if count > 0:
+                self._pins[version] = count
+            else:
+                self._pins.pop(version, None)
+            reclaimed = self._collect_locked()
+        self._fire_reclaim(reclaimed)
+
+    def pinned_versions(self) -> dict[int, int]:
+        """Live reader pins, ``version -> refcount`` (observability)."""
+        with self._lock:
+            return dict(self._pins)
+
+    def retained_versions(self) -> list[int]:
+        """Versions the store still holds: current + pinned predecessors."""
+        with self._lock:
+            return sorted(self._retained)
+
+    def add_reclaim_hook(self, hook) -> None:
+        """Register ``hook(version)``, called once per reclaimed version.
+
+        Hooks fire outside the store lock, on whichever thread's
+        ``install``/``unpin`` made the version unreachable. The engine
+        wires the process executor's segment drop through this.
+        """
+        with self._lock:
+            self._reclaim_hooks.append(hook)
+
+    def _collect_locked(self) -> list[int]:
+        """Drop superseded, unpinned versions; returns what was reclaimed."""
+        dead = [
+            version
+            for version in self._retained
+            if version < self._current.version and version not in self._pins
+        ]
+        for version in dead:
+            del self._retained[version]
+        return dead
+
+    def _fire_reclaim(self, versions: list) -> None:
+        for version in versions:
+            for hook in list(self._reclaim_hooks):
+                hook(version)
+
+    # --------------------------------------------------------------- install
     def install(self, snapshot: Snapshot) -> Snapshot:
         """Publish ``snapshot`` as the current version.
 
         Raises :class:`~repro.util.errors.PlanError` unless
         ``snapshot.version == current.version + 1`` — the stale-writer
         conflict described in the class docstring. Returns the installed
-        snapshot for chaining.
+        snapshot for chaining. Superseded versions no reader pins are
+        reclaimed as part of the install (hooks fire after the swap,
+        outside the lock).
         """
         with self._lock:
             expected = self._current.version + 1
@@ -131,4 +222,7 @@ class SnapshotStore:
                     f"see docs/serving.md)"
                 )
             self._current = snapshot
-            return snapshot
+            self._retained[snapshot.version] = snapshot
+            reclaimed = self._collect_locked()
+        self._fire_reclaim(reclaimed)
+        return snapshot

@@ -25,7 +25,12 @@ Typical use::
     handle.results["Q1"]                   # refreshed QueryResult
 """
 
-from repro.incremental.delta import RelationDelta, normalize_deltas
+from repro.incremental.delta import (
+    RelationDelta,
+    coalesce_deltas,
+    coalesce_relation_deltas,
+    normalize_deltas,
+)
 from repro.incremental.maintain import ApplyResult, MaintainedBatch
 from repro.incremental.rules import DeltaRules
 
@@ -34,5 +39,7 @@ __all__ = [
     "DeltaRules",
     "MaintainedBatch",
     "RelationDelta",
+    "coalesce_deltas",
+    "coalesce_relation_deltas",
     "normalize_deltas",
 ]

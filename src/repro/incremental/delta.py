@@ -14,6 +14,17 @@ compiled group code over a trie of just the new tuples and add the emitted
 values in). Deletes can silently empty a group — deciding whether a group-by
 key survives needs join support, which the numeric path cannot see — so they
 route to the rescan path instead.
+
+:func:`coalesce_deltas` composes two *consecutive* delta maps into one —
+the group-commit primitive of the serving layer's write queue
+(:mod:`repro.serve.writequeue`). Composition cancels the second delta's
+deletes against the first's still-pending inserts bag-wise (a tuple
+inserted then deleted inside one group never touches the base relation,
+which matters because :meth:`repro.data.relation.Relation.remove_rows`
+treats deleting an absent tuple as a hard error), and it preserves
+:attr:`RelationDelta.insert_only`: a queue of small insert-only writes
+merges into one insert-only delta, so the O(|Δ|) numeric path amortises
+over the whole group.
 """
 
 from __future__ import annotations
@@ -134,6 +145,119 @@ def normalize_deltas(
         if not delta.is_empty:
             deltas[name] = delta
     return deltas
+
+
+def _concat_optional(first: Relation | None, second: Relation | None) -> Relation | None:
+    """Bag union of two optional relations (None = empty)."""
+    if first is None or first.num_rows == 0:
+        return second
+    if second is None or second.num_rows == 0:
+        return first
+    return first.concat(second)
+
+
+def _cancel_inserts(
+    pending: Relation, deletes: Relation
+) -> tuple[Relation | None, Relation | None]:
+    """Cancel ``deletes`` against ``pending`` inserts, bag-wise.
+
+    Returns ``(surviving inserts, surviving deletes)`` (either may be
+    None when fully cancelled). Each delete tuple consumes at most one
+    matching pending-insert occurrence; unmatched deletes survive and
+    will be removed from the *base* relation when the merged delta
+    applies — exactly what applying the two deltas in sequence would do,
+    since :meth:`RelationDelta.apply_to` appends the first delta's
+    inserts before the second delta's deletes run.
+    """
+    from collections import Counter
+
+    available = Counter(pending.iter_rows())
+    cancel: Counter = Counter()
+    surviving_deletes: list[tuple] = []
+    for row in deletes.iter_rows():
+        if cancel[row] < available[row]:
+            cancel[row] += 1
+        else:
+            surviving_deletes.append(row)
+    if not cancel:
+        return pending, deletes
+    kept: list[tuple] = []
+    used: Counter = Counter()
+    for row in pending.iter_rows():
+        if used[row] < cancel[row]:
+            used[row] += 1  # this occurrence is annihilated by a delete
+        else:
+            kept.append(row)
+    schema = pending.schema
+    inserts = Relation.from_rows(schema, kept) if kept else None
+    dels = (
+        Relation.from_rows(schema, surviving_deletes)
+        if surviving_deletes
+        else None
+    )
+    return inserts, dels
+
+
+def coalesce_relation_deltas(
+    first: RelationDelta, second: RelationDelta
+) -> RelationDelta | None:
+    """Compose two consecutive deltas on one relation, or None if unmergeable.
+
+    The only unmergeable case is a ``delete_mask`` on ``second``: a mask
+    indexes rows of the instance *as the first delta left it*, which the
+    composed delta (applied to the original instance) cannot express.
+    ``second``'s tuple deletes first cancel against ``first``'s pending
+    inserts; the remainder joins ``first``'s deletes. Applying the result
+    is multiset-equal to applying ``first`` then ``second`` — and raises
+    on exactly the same invalid deltas, since the composed delete bag
+    targets the same base-relation occurrences.
+    """
+    if second.delete_mask is not None and bool(second.delete_mask.any()):
+        return None
+    inserts = first.inserts
+    deletes = second.deletes
+    if (
+        inserts is not None
+        and inserts.num_rows
+        and deletes is not None
+        and deletes.num_rows
+    ):
+        inserts, deletes = _cancel_inserts(inserts, deletes)
+    return RelationDelta(
+        relation=first.relation,
+        inserts=_concat_optional(inserts, second.inserts),
+        deletes=_concat_optional(first.deletes, deletes),
+        delete_mask=first.delete_mask,
+    )
+
+
+def coalesce_deltas(
+    first: Mapping[str, RelationDelta], second: Mapping[str, RelationDelta]
+) -> dict[str, RelationDelta] | None:
+    """Compose two consecutive per-relation delta maps into one, or None.
+
+    ``None`` means the pair cannot be expressed as a single delta map
+    (a ``delete_mask`` in ``second`` over a relation ``first`` already
+    touched — the mask's row indexes are relative to the intermediate
+    state) and the caller must commit them as separate groups. Relations
+    touched by only one side pass through by reference; relations touched
+    by both compose via :func:`coalesce_relation_deltas`. Entries that
+    cancel to nothing are dropped, so the result can be ``{}``.
+    """
+    merged = dict(first)
+    for name, delta in second.items():
+        base = merged.get(name)
+        if base is None:
+            merged[name] = delta
+            continue
+        combined = coalesce_relation_deltas(base, delta)
+        if combined is None:
+            return None
+        if combined.is_empty:
+            del merged[name]
+        else:
+            merged[name] = combined
+    return merged
 
 
 def stage_deltas(

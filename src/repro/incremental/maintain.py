@@ -44,15 +44,28 @@ pointer flips. Readers of :attr:`results` / :meth:`view_contents` therefore
 always observe one complete version — never a half-applied delta — and an
 apply that fails anywhere leaves both the handle and the engine exactly as
 they were. One maintenance lineage per engine: a second concurrent writer
-(another handle, or :meth:`repro.serve.AggregateServer.apply`) surfaces as
-a version-conflict :class:`~repro.util.errors.PlanError` instead of a lost
+(another handle, or a direct
+:meth:`~repro.core.snapshot.SnapshotStore.install`) surfaces as a
+version-conflict :class:`~repro.util.errors.PlanError` instead of a lost
 update. The full contract is in ``docs/serving.md``.
+
+**Server-routed handles.** A handle built by
+:meth:`repro.serve.AggregateServer.maintain` is *bound* to the server's
+group-committed write queue: its ``apply`` does not install directly but
+enqueues the delta and blocks for the :class:`ApplyResult` of the group
+commit that covered it (several queued writes may land in one snapshot
+transition — the handle is refreshed once, over the composed delta). The
+refresh machinery is shared either way: the direct path and the server's
+committer both advance handle state through :meth:`_advance_state` /
+:meth:`_commit_state`, so routed results stay bit-exact vs applying each
+delta sequentially.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.core.engine import CompiledBatch, LMFAO, RunResult, _to_query_result
 from repro.core.runtime import (
@@ -72,6 +85,23 @@ from repro.query.query import QueryResult
 from repro.util.errors import PlanError
 
 _MODES = ("auto", "numeric", "rescan")
+
+
+def check_numeric_deletes(mode: str, deltas: Mapping[str, RelationDelta]) -> None:
+    """Enforce ``incremental_mode='numeric'``'s no-deletes contract, pre-commit.
+
+    Shared by the direct handle path and the server's write path so a
+    delete is refused with the same error *before* it is staged or
+    enqueued, wherever it enters.
+    """
+    if mode != "numeric":
+        return
+    for name, delta in deltas.items():
+        if not delta.insert_only:
+            raise PlanError(
+                f"incremental_mode='numeric' cannot maintain deletes "
+                f"(delta for {name}); use 'auto' or 'rescan'"
+            )
 
 
 @dataclass
@@ -130,6 +160,7 @@ class MaintainedBatch:
         self.rules = DeltaRules.from_compiled(compiled)
         self.applies = 0
         self._engine = engine
+        self._router = None  # set by AggregateServer.maintain (write queue)
         self._view_group_by = {
             name: view.group_by for name, view in compiled.view_plan.views.items()
         }
@@ -204,10 +235,16 @@ class MaintainedBatch:
         ``inserts`` / ``deletes`` map relation names to tuples to add /
         remove — each value a :class:`Relation`, a row sequence, a column
         mapping, or (deletes only) a boolean mask over the current
-        instance. Builds the successor version off to the side and installs
-        it atomically (into the owning engine first, then the handle);
-        returns the new version's results plus per-round stats.
+        instance. A server-bound handle routes the delta through its
+        server's group-committed write queue and blocks for the result
+        (see the module docstring); a direct handle builds the successor
+        version off to the side and installs it atomically (into the
+        owning engine first, then the handle). Either way the returned
+        :class:`ApplyResult` carries the new version's results plus
+        per-round stats.
         """
+        if self._router is not None:
+            return self._router._route_handle_apply(self, inserts, deletes)
         start = time.perf_counter()
         state = self._state
         # stage_deltas normalises and stages every relation update before
@@ -216,31 +253,66 @@ class MaintainedBatch:
         # database, tries, views — completely untouched. The numeric-mode
         # check runs on the normalised deltas, likewise pre-commit.
         deltas, staged = stage_deltas(state.snapshot.db, inserts, deletes)
-        if self.config.incremental_mode == "numeric":
-            for name, delta in deltas.items():
-                if not delta.insert_only:
-                    raise PlanError(
-                        f"incremental_mode='numeric' cannot maintain deletes "
-                        f"(delta for {name}); use 'auto' or 'rescan'"
-                    )
+        check_numeric_deletes(self.config.incremental_mode, deltas)
+        if not deltas:
+            return self._empty_apply_result(start=start)
+
+        snapshot = state.snapshot.with_relations(staged)
+        new_state, result = self._advance_state(deltas, snapshot, start=start)
+
+        # ---- publish: engine first (version conflicts abort the whole
+        # apply with the handle untouched), then the handle's own pointer
+        self._engine._snapshots.install(snapshot)
+        self._commit_state(new_state)
+        return result
+
+    def _bind_router(self, router) -> None:
+        """Route future ``apply`` calls through a server's write queue."""
+        self._router = router
+
+    def _empty_apply_result(self, start: float | None = None) -> ApplyResult:
+        """The no-op round: nothing staged, nothing enqueued, version kept."""
+        state = self._state
+        self.applies += 1
+        return ApplyResult(
+            results=state.results,
+            refreshed_queries=(),
+            refreshed_views=(),
+            relations_changed=(),
+            groups_numeric=0,
+            groups_rescanned=0,
+            groups_skipped=0,
+            seconds=0.0 if start is None else time.perf_counter() - start,
+            version=state.snapshot.version,
+        )
+
+    def _advance_state(
+        self,
+        deltas: Mapping[str, RelationDelta],
+        snapshot: Snapshot,
+        start: float | None = None,
+    ) -> tuple[_MaintainedVersion, ApplyResult]:
+        """Compute the successor maintained state, entirely off to the side.
+
+        ``snapshot`` is the (not yet installed) direct successor carrying
+        ``deltas``'s staged relations. Nothing is published: the caller
+        installs the snapshot and then flips the handle via
+        :meth:`_commit_state`, so a failure anywhere in here leaves both
+        the handle and the engine exactly as they were — the committer's
+        crash-containment contract. The dirty-path walk, numeric/rescan
+        choice and copy-on-write merge discipline are identical for
+        single deltas and for group-composed ones.
+        """
+        start = time.perf_counter() if start is None else start
+        state = self._state
+        if snapshot.version != state.snapshot.version + 1:
+            raise PlanError(
+                f"maintained handle at version {state.snapshot.version} "
+                f"cannot advance to non-successor version {snapshot.version}"
+            )
         changed: dict[str, RelationDelta] = dict(deltas)
 
-        if not changed:
-            self.applies += 1
-            return ApplyResult(
-                results=state.results,
-                refreshed_queries=(),
-                refreshed_views=(),
-                relations_changed=(),
-                groups_numeric=0,
-                groups_rescanned=0,
-                groups_skipped=0,
-                seconds=time.perf_counter() - start,
-                version=state.snapshot.version,
-            )
-
         # ---- build the successor version off to the side (copy-on-write)
-        snapshot = state.snapshot.with_relations(staged)
         view_data = dict(state.view_data)
         query_raw = dict(state.query_raw)
 
@@ -280,14 +352,7 @@ class MaintainedBatch:
                     query, query_raw[query.name]
                 )
         new_state = _MaintainedVersion(snapshot, view_data, query_raw, results)
-
-        # ---- publish: engine first (version conflicts abort the whole
-        # apply with the handle untouched), then the handle's own pointer
-        self._engine._snapshots.install(snapshot)
-        self._state = new_state
-        self.applies += 1
-        self._debug_check_stores()
-        return ApplyResult(
+        result = ApplyResult(
             results=results,
             refreshed_queries=tuple(sorted(dirty_queries)),
             refreshed_views=tuple(sorted(refreshed_views)),
@@ -298,6 +363,13 @@ class MaintainedBatch:
             seconds=time.perf_counter() - start,
             version=snapshot.version,
         )
+        return new_state, result
+
+    def _commit_state(self, new_state: _MaintainedVersion) -> None:
+        """Flip the handle to an already-installed successor state."""
+        self._state = new_state
+        self.applies += 1
+        self._debug_check_stores()
 
     # ----------------------------------------------------------- group execution
     def _numeric_applicable(

@@ -3,15 +3,20 @@
 The fifth layer of the stack (viewgen → groups → plans → backends →
 **serving**): :class:`AggregateServer` amortises one optimisation pass
 over many requests via a structural plan cache with per-request constant
-rebinding, serves queries and maintenance concurrently through immutable
-versioned snapshots, and exposes an async ``submit`` front that coalesces
-identical in-flight requests. See ``docs/serving.md``.
+rebinding, serves queries concurrently through immutable versioned
+snapshots (reader-pinned and garbage-collected), group-commits writes
+through a bounded write-ahead delta queue
+(:class:`~repro.serve.writequeue.WriteQueue`), and exposes an async
+``submit`` front that coalesces identical in-flight requests. See
+``docs/serving.md``.
 """
 
 from repro.core.snapshot import Snapshot, SnapshotStore
 from repro.serve.fingerprint import BatchFingerprint, batch_fingerprint, bind_batch
 from repro.serve.plancache import CacheStats, PlanCache
 from repro.serve.server import AggregateServer, ServerStats
+from repro.serve.writequeue import WriteQueue, WriteStats, WriteTicket
+from repro.util.errors import WriteOverloadError
 
 __all__ = [
     "AggregateServer",
@@ -21,6 +26,10 @@ __all__ = [
     "ServerStats",
     "Snapshot",
     "SnapshotStore",
+    "WriteOverloadError",
+    "WriteQueue",
+    "WriteStats",
+    "WriteTicket",
     "batch_fingerprint",
     "bind_batch",
 ]

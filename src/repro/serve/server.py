@@ -1,4 +1,4 @@
-"""The compile-once serving front: plan cache + snapshots + async submission.
+"""The compile-once serving front: plan cache + snapshots + queued writes.
 
 :class:`AggregateServer` wraps one :class:`~repro.core.engine.LMFAO`
 engine for serving heavy concurrent traffic:
@@ -9,11 +9,20 @@ engine for serving heavy concurrent traffic:
   with predicate constants re-bound at execution
   (:func:`~repro.serve.fingerprint.bind_batch`), LRU-bounded with hit/miss
   stats (:class:`~repro.serve.plancache.PlanCache`);
-* **snapshot-isolated run/maintain** — reads pin the engine's current
-  :class:`~repro.core.snapshot.Snapshot` and never block behind writers;
-  :meth:`apply` (base-relation updates) and
-  :meth:`maintain` handles (incrementally maintained results) install
-  successor versions atomically;
+* **snapshot-isolated reads** — :meth:`run` / :meth:`submit` pin the
+  engine's current :class:`~repro.core.snapshot.Snapshot` at entry and
+  release it on completion; the pin refcount both isolates the read from
+  concurrent commits and keeps the version (and its shared-memory trie
+  segments under ``executor="process"``) alive for snapshot GC;
+* **group-committed writes** — :meth:`apply` and maintained-handle writes
+  enqueue normalised deltas on a bounded write-ahead queue
+  (:class:`~repro.serve.writequeue.WriteQueue`); a single committer
+  thread composes consecutive deltas (insert/delete cancellation) and
+  installs them as **one** snapshot transition, refreshing every
+  registered :meth:`maintain` handle against the same successor. Any
+  number of writer threads may apply concurrently — writers serialise
+  through the queue instead of dying on version conflicts — with
+  configurable backpressure and ``flush()``/``sync=True`` durability;
 * **async submission** — :meth:`submit` returns a
   :class:`concurrent.futures.Future` over a shared worker pool, and
   identical in-flight requests (same fingerprint, same constants, same
@@ -37,6 +46,18 @@ Structurally identical batches compile once; changed constants re-bind::
     >>> "compile" in cold.timings, "compile" in warm.timings
     (True, False)
 
+Writes go through the group-commit queue; ``sync=True`` (the default)
+blocks until the write's snapshot transition is installed, and empty
+deltas short-circuit without ever waking the committer::
+
+    >>> sales = server.engine.db.relation("Sales")
+    >>> server.apply(inserts={"Sales": [sales.row(0)]})
+    1
+    >>> server.apply()  # nothing staged: version unchanged
+    1
+    >>> server.stats().writes.committed_groups
+    1
+
 Async submission — futures over a shared pool, snapshot pinned at
 submission time (identical in-flight requests additionally coalesce
 onto one future; see :meth:`AggregateServer.submit`)::
@@ -51,13 +72,18 @@ onto one future; see :meth:`AggregateServer.submit`)::
 from __future__ import annotations
 
 import threading
+import weakref
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.engine import EngineConfig, LMFAO, RunResult
 from repro.data.catalog import Database
-from repro.incremental.delta import stage_deltas
-from repro.incremental.maintain import MaintainedBatch
+from repro.incremental.delta import RelationDelta, normalize_deltas
+from repro.incremental.maintain import (
+    ApplyResult,
+    MaintainedBatch,
+    check_numeric_deletes,
+)
 from repro.query.batch import QueryBatch
 from repro.serve.fingerprint import (
     BatchFingerprint,
@@ -66,18 +92,26 @@ from repro.serve.fingerprint import (
     bind_batch,
 )
 from repro.serve.plancache import CacheStats, PlanCache
+from repro.serve.writequeue import WriteQueue, WriteStats, WriteTicket
 from repro.util.errors import PlanError
 
 
 @dataclass(frozen=True)
 class ServerStats:
-    """Point-in-time serving counters.
+    """Point-in-time serving counters (one coherent reading).
 
     ``plan_cache`` — the structural cache's hit/miss/eviction counters;
     ``submitted`` — futures actually launched by :meth:`AggregateServer.submit`;
     ``coalesced`` — submissions absorbed by an identical in-flight future;
     ``inflight`` — submissions currently executing or queued;
-    ``snapshot_version`` — the engine's current data version.
+    ``snapshot_version`` — the engine's current data version;
+    ``writes`` — the write queue's counters
+    (:class:`~repro.serve.writequeue.WriteStats`), read under the commit
+    lock together with ``snapshot_version`` so the pair can never tear
+    against a concurrent group commit;
+    ``live_snapshots`` — versions the snapshot store still retains
+    (current + pinned predecessors); bounded under sustained writes by
+    snapshot GC.
     """
 
     plan_cache: CacheStats
@@ -85,15 +119,19 @@ class ServerStats:
     coalesced: int = 0
     inflight: int = 0
     snapshot_version: int = 0
+    writes: WriteStats | None = None
+    live_snapshots: int = 1
 
 
 class AggregateServer:
     """One process serving aggregate batches and updates concurrently.
 
-    Construct once per database; call from any number of threads. The
-    full concurrency contract (what a ``run`` observes while an ``apply``
-    is in flight, and why there is exactly one maintenance lineage per
-    server) is documented in ``docs/serving.md``.
+    Construct once per database; call from any number of threads —
+    including any number of *writer* threads: writes serialise through
+    the server's group-commit queue rather than conflicting. The full
+    concurrency contract (what a ``run`` observes while writes are in
+    flight, group composition, backpressure, flush semantics and the
+    snapshot-GC lifecycle) is documented in ``docs/serving.md``.
 
     Parameters
     ----------
@@ -106,6 +144,13 @@ class AggregateServer:
     request_workers:
         Threads executing :meth:`submit` futures (default 4). :meth:`run`
         executes on the caller's thread and does not use the pool.
+    write_capacity:
+        Bound on pending delta groups in the write queue (default 256).
+    write_policy:
+        Backpressure when the queue is full: ``"block"`` (default) makes
+        ``apply`` wait for room, ``"reject"`` raises
+        :class:`~repro.util.errors.WriteOverloadError`, ``"coalesce"``
+        merges the incoming delta into the newest queued entry.
     """
 
     def __init__(
@@ -115,6 +160,8 @@ class AggregateServer:
         *,
         plan_cache_capacity: int = 32,
         request_workers: int = 4,
+        write_capacity: int = 256,
+        write_policy: str = "block",
     ) -> None:
         if not isinstance(request_workers, int) or request_workers < 1:
             raise PlanError(
@@ -128,7 +175,14 @@ class AggregateServer:
         )
         self._inflight: dict[tuple, Future] = {}
         self._lock = threading.Lock()
-        self._write_lock = threading.Lock()
+        # held by every group commit, by maintain-handle registration and
+        # by stats() — the one mutual exclusion between "a snapshot
+        # transition is being installed" and "a coherent reading is taken".
+        self._commit_mutex = threading.Lock()
+        self._handles: "weakref.WeakSet[MaintainedBatch]" = weakref.WeakSet()
+        self._writes = WriteQueue(
+            self._commit_group, capacity=write_capacity, policy=write_policy
+        )
         self._submitted = 0
         self._coalesced = 0
         self._closed = False
@@ -137,53 +191,71 @@ class AggregateServer:
     def run(self, batch: QueryBatch) -> RunResult:
         """Execute a batch synchronously against the current snapshot.
 
-        Pins the snapshot first, then resolves the plan: a structural
-        cache hit skips compilation entirely (``"compile"`` is absent
-        from the result's timings) and re-binds the request's constants;
-        a miss compiles and populates the cache. Safe from any thread.
+        Pins the snapshot at entry (released on completion — the GC
+        refcount that keeps the version and its shm segments alive for
+        the whole read), then resolves the plan: a structural cache hit
+        skips compilation entirely (``"compile"`` is absent from the
+        result's timings) and re-binds the request's constants; a miss
+        compiles and populates the cache. Safe from any thread.
         """
-        snapshot = self.engine.snapshot()
-        fingerprint, _ = batch_fingerprint(batch, self.engine.tree, self.engine.config)
-        return self._execute_pinned(batch, fingerprint, snapshot)
+        snapshot = self.engine.pin_snapshot()
+        try:
+            fingerprint, _ = batch_fingerprint(
+                batch, self.engine.tree, self.engine.config
+            )
+            return self._execute_pinned(batch, fingerprint, snapshot)
+        finally:
+            self.engine.release_snapshot(snapshot.version)
 
     def submit(self, batch: QueryBatch) -> "Future[RunResult]":
         """Execute a batch asynchronously; returns an awaitable future.
 
         The snapshot is pinned at *submission* time — the future's result
         reflects the data version current when ``submit`` was called,
-        regardless of maintenance applied while it waited in the queue.
-        Identical in-flight requests — same structure, same constants,
-        same snapshot version — coalesce onto one future (the request is
+        regardless of writes committed while it waited in the queue (the
+        pin is released when the future completes, never mid-queue, so
+        snapshot GC cannot reclaim the version under it). Identical
+        in-flight requests — same structure, same constants, same
+        snapshot version — coalesce onto one future (the request is
         executed once; every submitter gets the same ``RunResult``).
         """
-        snapshot = self.engine.snapshot()
-        fingerprint, constants = batch_fingerprint(
-            batch, self.engine.tree, self.engine.config
-        )
-        key = (fingerprint, constants, snapshot.version)
-        with self._lock:
-            # checked under the lock: a close() racing this submit either
-            # ran before (we raise) or runs after (shutdown(wait=True)
-            # drains the future we just scheduled)
-            if self._closed:
-                raise PlanError("AggregateServer is closed")
-            future = self._inflight.get(key)
-            if future is not None:
-                self._coalesced += 1
-                return future
-            future = self._pool.submit(
-                self._execute_pinned, batch, fingerprint, snapshot
+        snapshot = self.engine.pin_snapshot()
+        transferred = False
+        try:
+            fingerprint, constants = batch_fingerprint(
+                batch, self.engine.tree, self.engine.config
             )
-            self._submitted += 1
-            self._inflight[key] = future
+            key = (fingerprint, constants, snapshot.version)
+            with self._lock:
+                # checked under the lock: a close() racing this submit
+                # either ran before (we raise) or runs after
+                # (shutdown(wait=True) drains the future we just scheduled)
+                if self._closed:
+                    raise PlanError("AggregateServer is closed")
+                future = self._inflight.get(key)
+                if future is not None:
+                    self._coalesced += 1
+                    return future  # the launched submission holds its own pin
+                future = self._pool.submit(
+                    self._execute_pinned, batch, fingerprint, snapshot
+                )
+                self._submitted += 1
+                self._inflight[key] = future
+            transferred = True
+        finally:
+            if not transferred:
+                self.engine.release_snapshot(snapshot.version)
         # registered OUTSIDE the lock: a future that completed already runs
-        # its callback synchronously here, and _forget takes the same lock
-        future.add_done_callback(lambda _f, _k=key: self._forget(_k))
+        # its callback synchronously here, and the callback takes the lock
+        future.add_done_callback(
+            lambda _f, _k=key, _v=snapshot.version: self._submission_done(_k, _v)
+        )
         return future
 
-    def _forget(self, key: tuple) -> None:
+    def _submission_done(self, key: tuple, version: int) -> None:
         with self._lock:
             self._inflight.pop(key, None)
+        self.engine.release_snapshot(version)
 
     def _execute_pinned(
         self, batch: QueryBatch, fingerprint: BatchFingerprint, snapshot
@@ -204,41 +276,129 @@ class AggregateServer:
         return self.engine.execute(compiled, snapshot=snapshot, binding=binding)
 
     # ------------------------------------------------------------------ updates
-    def apply(self, inserts=None, deletes=None) -> int:
-        """Apply base-relation updates; returns the new snapshot version.
+    def apply(
+        self,
+        inserts=None,
+        deletes=None,
+        *,
+        sync: bool = True,
+        timeout: float | None = None,
+    ):
+        """Apply base-relation updates through the group-commit queue.
 
-        Builds the successor snapshot off to the side (unchanged
-        relations and tries shared structurally) and installs it
-        atomically: queries pinned before the install keep their version,
-        queries arriving after see the new one — never a half-applied
-        delta. Plan-cache entries stay valid (they are pure structure).
-        Empty deltas return the current version unchanged.
+        Normalises the deltas immediately (schema errors raise here, on
+        the caller's thread), then enqueues them. With ``sync=True`` (the
+        default) blocks until the covering group commit is installed and
+        returns the new snapshot version — sequential synchronous applies
+        therefore get one version each, while concurrent or asynchronous
+        writers may share a version. With ``sync=False`` returns the
+        :class:`~repro.serve.writequeue.WriteTicket` immediately; its
+        ``result()`` is the committed version (commit failures surface
+        there, or on :meth:`flush` ordering).
 
-        Writers serialise on the server's write lock. Do not mix with a
-        :meth:`maintain` handle's own ``apply`` — one maintenance lineage
-        per engine (a conflicting writer raises
-        :class:`~repro.util.errors.PlanError`, see
-        :class:`~repro.core.snapshot.SnapshotStore`).
+        Empty deltas short-circuit before touching the queue: no lock,
+        no enqueue, no committer wake-up — the current version (or an
+        already-resolved ticket) comes straight back. Backpressure
+        follows the server's ``write_policy``; plan-cache entries stay
+        valid across commits (they are pure structure).
         """
-        with self._write_lock:
+        deltas = self._stage_writes(inserts, deletes)
+        if not deltas:
+            version = self.engine.snapshot().version
+            if sync:
+                return version
+            ticket = WriteTicket()
+            ticket._resolve(version, {})
+            return ticket
+        ticket = self._writes.submit(deltas)
+        if not sync:
+            return ticket
+        return ticket.result(timeout)
+
+    def flush(self, timeout: float | None = None) -> int:
+        """Block until every write enqueued before this call has finished.
+
+        The server's durability point: after ``flush()`` returns, every
+        prior ``apply(sync=False)`` ticket is resolved (committed, or
+        failed with its error on the ticket). Returns the current
+        snapshot version. Raises :class:`~repro.util.errors.PlanError`
+        if the server is closed while discarding queued writes, and
+        :class:`TimeoutError` on timeout.
+        """
+        self._writes.flush(timeout)
+        return self.engine.snapshot().version
+
+    def _stage_writes(
+        self, inserts, deletes
+    ) -> dict[str, RelationDelta]:
+        """Normalise apply() arguments; enforce pre-enqueue contracts."""
+        deltas = normalize_deltas(self.engine.snapshot().db, inserts, deletes)
+        if deltas and self._handles:
+            # fail fast on the caller's thread, exactly like a direct
+            # handle apply would, instead of poisoning a whole group
+            check_numeric_deletes(self.engine.config.incremental_mode, deltas)
+        return deltas
+
+    def _route_handle_apply(
+        self, handle: MaintainedBatch, inserts, deletes
+    ) -> ApplyResult:
+        """A bound maintained handle's apply: enqueue, block for the result."""
+        deltas = normalize_deltas(handle.db, inserts, deletes)
+        check_numeric_deletes(self.engine.config.incremental_mode, deltas)
+        if not deltas:
+            return handle._empty_apply_result()
+        return self._writes.submit(deltas, handle=handle).result()
+
+    def _commit_group(self, deltas: dict[str, RelationDelta]):
+        """Install one composed delta map as a single snapshot transition.
+
+        Runs only on the committer thread. Stages every relation first
+        (a failing delta raises *before* anything is touched), advances
+        every registered maintained handle off to the side against the
+        same successor, installs the snapshot, then flips the handles —
+        so a failure at any point leaves the store on the last good
+        version and every handle coherent, and the exception fails only
+        this group's tickets (the queue's crash containment).
+        """
+        with self._commit_mutex:
             snapshot = self.engine.snapshot()
-            _, staged = stage_deltas(snapshot.db, inserts, deletes)
-            if not staged:
-                return snapshot.version
+            if not deltas:
+                return snapshot.version, {}
+            staged = {
+                name: delta.apply_to(snapshot.db.relation(name))
+                for name, delta in deltas.items()
+            }
             successor = snapshot.with_relations(staged)
+            advanced = [
+                (handle, *handle._advance_state(deltas, successor))
+                for handle in list(self._handles)
+            ]
             self.engine._snapshots.install(successor)
-            return successor.version
+            by_handle = {}
+            for handle, new_state, result in advanced:
+                handle._commit_state(new_state)
+                by_handle[handle] = result
+            return successor.version, by_handle
 
     def maintain(self, batch: QueryBatch) -> MaintainedBatch:
         """Compile a batch once and keep its results incrementally maintained.
 
-        The handle's ``apply(inserts=..., deletes=...)`` refreshes its
-        materialised results at delta cost **and** installs the successor
-        snapshot into this server, so subsequent :meth:`run` /
-        :meth:`submit` calls see the updated data. Use *either* maintained
-        handles *or* :meth:`apply` as the server's single writer lineage.
+        The handle is *bound to this server*: its ``apply(inserts=...,
+        deletes=...)`` routes through the group-commit queue (blocking
+        for the covering commit's :class:`ApplyResult`), and **every**
+        server write — :meth:`apply` or any other handle — refreshes its
+        materialised results as part of the commit, so the handle always
+        serves the server's current version. Any number of handles may
+        coexist with any number of writers; the one-lineage restriction
+        applies only to handles built directly on an engine.
         """
-        return self.engine.maintain(batch)
+        with self._commit_mutex:
+            if self._closed:
+                raise PlanError("AggregateServer is closed")
+            handle = self.engine.maintain(batch)
+            handle._bind_router(self)
+            self._handles.add(handle)
+        return handle
 
     # ------------------------------------------------------------------- admin
     @property
@@ -247,25 +407,48 @@ class AggregateServer:
         return self.engine.snapshot().version
 
     def stats(self) -> ServerStats:
-        """Point-in-time serving counters (see :class:`ServerStats`)."""
+        """Point-in-time serving counters (see :class:`ServerStats`).
+
+        The snapshot version, write counters and live-snapshot count are
+        read together under the commit lock — one coherent reading that
+        cannot tear against a concurrent group commit.
+        """
         with self._lock:
             inflight = len(self._inflight)
             submitted = self._submitted
             coalesced = self._coalesced
+        with self._commit_mutex:
+            snapshot_version = self.engine.snapshot().version
+            writes = self._writes.stats()
+            live_snapshots = len(self.engine._snapshots.retained_versions())
         return ServerStats(
             plan_cache=self.plan_cache.stats(),
             submitted=submitted,
             coalesced=coalesced,
             inflight=inflight,
-            snapshot_version=self.engine.snapshot().version,
+            snapshot_version=snapshot_version,
+            writes=writes,
+            live_snapshots=live_snapshots,
         )
 
     def close(self) -> None:
-        """Drain the worker pool, reject further submissions, and release
-        the engine's owned OS resources (the ``executor="process"`` worker
-        pool and its shared-memory segments, when configured)."""
+        """Shut the server down; idempotent and safe against concurrent writers.
+
+        Documented choice: close **flushes** — every delta already queued
+        when the close begins still group-commits (close is a durability
+        point), then the committer exits; writers that race the close are
+        refused with a clear ``PlanError`` (including writers that were
+        *blocking* for queue space — they are woken, not left hanging),
+        and so are new submissions. A second (or concurrent) ``close()``
+        is a no-op. Finally drains the request pool and releases the
+        engine's owned OS resources (the ``executor="process"`` worker
+        pool and its shared-memory segments, when configured).
+        """
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
+        self._writes.close(flush=True)
         self._pool.shutdown(wait=True)
         self.engine.close()
 
@@ -276,9 +459,12 @@ class AggregateServer:
         self.close()
 
     def __repr__(self) -> str:
-        s = self.stats()
+        s = self.stats()  # one coherent reading (see stats())
+        writes = s.writes or WriteStats()
         return (
             f"AggregateServer(version={s.snapshot_version}, "
             f"plans={s.plan_cache.entries}/{s.plan_cache.capacity}, "
-            f"hit_rate={s.plan_cache.hit_rate:.2f}, inflight={s.inflight})"
+            f"hit_rate={s.plan_cache.hit_rate:.2f}, inflight={s.inflight}, "
+            f"writes={writes.committed_writes}/{writes.committed_groups}g, "
+            f"live_snapshots={s.live_snapshots})"
         )

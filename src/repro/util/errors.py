@@ -41,3 +41,14 @@ class PlanError(ReproError):
 
 class ParseError(QueryError):
     """Raised by the SQL-ish parser on invalid query text."""
+
+
+class WriteOverloadError(ReproError):
+    """Raised when a bounded write queue rejects a delta under backpressure.
+
+    Only the ``policy="reject"`` backpressure mode of the serving layer's
+    write queue raises this (``policy="block"`` waits and
+    ``policy="coalesce"`` merges instead); the write was **not** enqueued
+    and no state changed — the caller may retry, shed load, or block on
+    :meth:`repro.serve.AggregateServer.flush` before retrying.
+    """

@@ -52,3 +52,62 @@ def test_store_reads_are_stable_references(favorita_db):
     store.install(pinned.with_relations({}))
     assert pinned.version == 0  # the pin is unaffected by the install
     assert store.version == 1
+
+
+# ------------------------------------------------------------ pins and GC
+def test_unpinned_superseded_versions_are_collected(favorita_db):
+    store = SnapshotStore(Snapshot(version=0, db=favorita_db))
+    store.install(store.current().with_relations({}))
+    store.install(store.current().with_relations({}))
+    # nothing pinned: only the current version is retained
+    assert store.retained_versions() == [2]
+
+
+def test_pinned_version_survives_installs_until_release(favorita_db):
+    store = SnapshotStore(Snapshot(version=0, db=favorita_db))
+    pinned = store.pin()
+    assert pinned.version == 0
+    store.install(store.current().with_relations({}))
+    store.install(store.current().with_relations({}))
+    # v0 is held by the reader; v1 was never pinned and is gone
+    assert store.retained_versions() == [0, 2]
+    assert store.pinned_versions() == {0: 1}
+    store.unpin(0)
+    assert store.retained_versions() == [2]
+    assert store.pinned_versions() == {}
+
+
+def test_pins_are_refcounted_and_repinnable(favorita_db):
+    store = SnapshotStore(Snapshot(version=0, db=favorita_db))
+    first = store.pin()
+    store.repin(first)  # a second reader of the same snapshot
+    store.install(store.current().with_relations({}))
+    store.unpin(0)
+    assert store.retained_versions() == [0, 1]  # one reader still holds v0
+    store.unpin(0)
+    assert store.retained_versions() == [1]
+
+
+def test_reclaim_hook_fires_outside_the_lock_with_dead_versions(favorita_db):
+    store = SnapshotStore(Snapshot(version=0, db=favorita_db))
+    reclaimed = []
+    store.add_reclaim_hook(
+        # re-entering the store from the hook must not deadlock
+        lambda v: (reclaimed.append(v), store.retained_versions())
+    )
+    pinned = store.pin()
+    store.install(store.current().with_relations({}))  # v0 pinned: kept
+    assert reclaimed == []
+    store.install(store.current().with_relations({}))  # v1 unpinned: dies
+    assert reclaimed == [1]
+    store.unpin(pinned.version)
+    assert reclaimed == [1, 0]
+
+
+def test_engine_run_pins_and_releases(favorita_db):
+    engine = LMFAO(favorita_db)
+    from repro.paper import example_queries
+
+    engine.run(example_queries())
+    assert engine._snapshots.pinned_versions() == {}
+    assert engine._snapshots.retained_versions() == [0]

@@ -5,7 +5,12 @@ import pytest
 
 from repro.data import Attribute, Relation, RelationSchema
 from repro.data.catalog import Database
-from repro.incremental import RelationDelta, normalize_deltas
+from repro.incremental import (
+    RelationDelta,
+    coalesce_deltas,
+    coalesce_relation_deltas,
+    normalize_deltas,
+)
 from repro.util.errors import SchemaError
 
 _C = Attribute.categorical
@@ -120,3 +125,103 @@ def test_remove_rows_is_multiset(tiny_db):
     removed = relation.remove_rows(Relation.from_rows(relation.schema, [(1, 10.0)]))
     assert removed.num_rows == 3
     assert list(removed.iter_rows()).count((1, 10.0)) == 1
+
+
+# ------------------------------------------------------------ group coalescing
+def _delta(db, name, inserts=None, deletes=None, mask=None):
+    schema = db.relation(name).schema
+    return RelationDelta(
+        relation=name,
+        inserts=Relation.from_rows(schema, inserts) if inserts else None,
+        deletes=Relation.from_rows(schema, deletes) if deletes else None,
+        delete_mask=mask,
+    )
+
+
+def _rows(relation_or_none):
+    if relation_or_none is None:
+        return []
+    return list(relation_or_none.iter_rows())
+
+
+def test_coalesce_concatenates_inserts_in_order(tiny_db):
+    first = _delta(tiny_db, "R", inserts=[(4, 40.0)])
+    second = _delta(tiny_db, "R", inserts=[(5, 50.0), (6, 60.0)])
+    merged = coalesce_relation_deltas(first, second)
+    assert merged.insert_only
+    assert _rows(merged.inserts) == [(4, 40.0), (5, 50.0), (6, 60.0)]
+
+
+def test_coalesce_cancels_delete_against_pending_insert(tiny_db):
+    # insert (4, 40.0) then delete it again: the pair never touches the base
+    first = _delta(tiny_db, "R", inserts=[(4, 40.0), (5, 50.0)])
+    second = _delta(tiny_db, "R", deletes=[(4, 40.0)])
+    merged = coalesce_relation_deltas(first, second)
+    assert _rows(merged.inserts) == [(5, 50.0)]
+    assert merged.deletes is None
+    assert merged.insert_only
+
+
+def test_coalesce_cancellation_is_bag_wise(tiny_db):
+    # two pending copies, three deletes: one delete survives for the base
+    first = _delta(tiny_db, "R", inserts=[(1, 10.0), (1, 10.0)])
+    second = _delta(tiny_db, "R", deletes=[(1, 10.0)] * 3)
+    merged = coalesce_relation_deltas(first, second)
+    assert merged.inserts is None
+    assert _rows(merged.deletes) == [(1, 10.0)]
+
+
+def test_coalesced_apply_matches_sequential_apply(tiny_db):
+    relation = tiny_db.relation("R")
+    first = _delta(tiny_db, "R", inserts=[(1, 10.0), (4, 40.0)], deletes=[(2, 20.0)])
+    second = _delta(tiny_db, "R", inserts=[(5, 50.0)], deletes=[(4, 40.0), (1, 10.0)])
+    sequential = second.apply_to(first.apply_to(relation))
+    merged = coalesce_relation_deltas(first, second)
+    assert sorted(merged.apply_to(relation).iter_rows()) == sorted(
+        sequential.iter_rows()
+    )
+
+
+def test_coalesced_apply_raises_on_same_invalid_deltas(tiny_db):
+    # second deletes a row that neither the base nor first's inserts carry:
+    # sequential application raises, and so must the merged delta
+    relation = tiny_db.relation("R")
+    first = _delta(tiny_db, "R", inserts=[(4, 40.0)])
+    second = _delta(tiny_db, "R", deletes=[(9, 90.0)])
+    with pytest.raises(SchemaError):
+        second.apply_to(first.apply_to(relation))
+    merged = coalesce_relation_deltas(first, second)
+    with pytest.raises(SchemaError):
+        merged.apply_to(relation)
+
+
+def test_delete_mask_is_a_group_boundary(tiny_db):
+    first = _delta(tiny_db, "R", inserts=[(4, 40.0)])
+    masked = _delta(tiny_db, "R", mask=np.array([True, False, False, False]))
+    assert coalesce_relation_deltas(first, masked) is None
+    # ...but a mask on *first* composes fine (it indexes the original rows)
+    merged = coalesce_relation_deltas(masked, first)
+    assert merged is not None
+    assert merged.delete_mask is masked.delete_mask
+    updated = merged.apply_to(tiny_db.relation("R"))
+    assert sorted(updated.iter_rows()) == sorted(
+        first.apply_to(masked.apply_to(tiny_db.relation("R"))).iter_rows()
+    )
+
+
+def test_coalesce_delta_maps_pass_through_and_cancel(tiny_db):
+    first = {
+        "R": _delta(tiny_db, "R", inserts=[(4, 40.0)]),
+        "S": _delta(tiny_db, "S", inserts=[(4, 11)]),
+    }
+    second = {"R": _delta(tiny_db, "R", deletes=[(4, 40.0)])}
+    merged = coalesce_deltas(first, second)
+    # R cancelled to nothing and is dropped; S passes through by reference
+    assert set(merged) == {"S"}
+    assert merged["S"] is first["S"]
+
+
+def test_coalesce_delta_maps_mask_boundary_returns_none(tiny_db):
+    first = {"R": _delta(tiny_db, "R", inserts=[(4, 40.0)])}
+    second = {"R": _delta(tiny_db, "R", mask=np.array([True, False, False, False]))}
+    assert coalesce_deltas(first, second) is None

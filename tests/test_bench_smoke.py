@@ -1,6 +1,7 @@
 """Smoke-runs of the standalone benchmark scripts so they can't rot.
 
-``benchmarks/bench_parallel.py`` and ``benchmarks/bench_serving.py`` live
+``benchmarks/bench_parallel.py``, ``benchmarks/bench_serving.py`` and
+``benchmarks/bench_writes.py`` live
 outside the package and are only exercised by CI's benchmark jobs
 otherwise; these tiny runs keep their wiring (grids, built-in
 bit-exactness assertions, report schemas) under the tier-1 suite. The
@@ -66,6 +67,31 @@ def test_bench_parallel_grid_smoke(tmp_path):
     )
     assert report["process_speedup_4workers_vs_sequential_python"] > 0
     assert "skipped" in report["process_speedup_assertion"]
+
+
+def test_bench_writes_smoke(tmp_path):
+    """The CI smoke gate of the write-path acceptance criteria: grouped
+    commits must be bit-exact vs the sequential oracle, snapshot GC must
+    bound the live-version count, and the injected fault must leave the
+    server serving on the last good version (all hard at any scale); the
+    ≥100 writes/s gate is recorded at smoke write counts and asserted on
+    full runs."""
+    bench = _load_bench("bench_writes")
+    out = tmp_path / "BENCH_writes.json"
+    argv = ["--scale", "0.02", "--writes", "40", "--writers", "2",
+            "--readers", "1", "--out", str(out)]
+    assert bench.main(argv) == 0
+    report = json.loads(out.read_text())
+    result = report["group_commit"]
+    assert result["bit_exact_vs_sequential_oracle"]
+    assert result["writes_per_second"] > 0
+    assert result["committed_groups"] <= result["writes"]
+    assert result["max_live_snapshots"] <= result["live_snapshot_bound"]
+    fault = result["fault_containment"]
+    assert fault["served_last_good_version"]
+    assert fault["flush_returned"]
+    assert fault["committer_survived"]
+    assert "skipped" in report["write_rate_assertion"]
 
 
 def test_bench_serving_smoke(tmp_path):
