@@ -359,6 +359,32 @@ class CompiledBatch:
 
 
 @dataclass
+class ViewSeeds:
+    """Pre-materialized views seeded into one execution, plus a publish sink.
+
+    Built by the serving layer from view-cache hits
+    (:mod:`repro.serve.viewcache`): ``seeds`` maps view name → already
+    computed ``ViewData`` for *this* compilation at *this* snapshot
+    version. The engine skips every group whose produced views are all
+    seeded (or otherwise unneeded) — a fully seeded subtree never
+    touches a trie — and feeds seeded data to the groups that do run.
+    Seeded containers are treated strictly read-only; every downstream
+    path builds fresh containers (see
+    :meth:`~repro.core.runtime.merge_partial_outputs` and the
+    copy-on-write maintainer merges), so sharing one cached view across
+    concurrent runs is safe.
+
+    ``publish`` (optional) is called once per view the run *computed*
+    (never for seeds echoed back) as ``publish(name, data)``, after all
+    groups finish but while the run's snapshot pin is still held — the
+    serving layer uses it to install fresh entries in the view cache.
+    """
+
+    seeds: dict[str, dict] = field(default_factory=dict)
+    publish: object | None = None
+
+
+@dataclass
 class RunResult:
     """Results of one batch run plus instrumentation.
 
@@ -383,6 +409,10 @@ class RunResult:
     #: see :func:`repro.core.costmodel.group_decision`. Data-dependent
     #: observability only; never part of compiled artefacts.
     decisions: dict[str, dict] = field(default_factory=dict)
+    #: names of groups skipped entirely because every view they produce
+    #: was seeded from the view cache (empty without :class:`ViewSeeds`).
+    #: Skipped groups have no ``group_times`` / ``decisions`` entries.
+    skipped_groups: tuple[str, ...] = ()
 
     def __getitem__(self, query_name: str) -> QueryResult:
         return self.results[query_name]
@@ -639,6 +669,7 @@ class LMFAO:
         watch: Stopwatch | None = None,
         snapshot: Snapshot | None = None,
         binding: PlanBinding | None = None,
+        view_seeds: ViewSeeds | None = None,
     ) -> RunResult:
         """Execute an already compiled batch.
 
@@ -648,6 +679,10 @@ class LMFAO:
         ``binding`` re-binds per-request predicate constants onto a
         structurally cached compilation (see :class:`PlanBinding`); when
         None the compiled batch executes with its own constants.
+        ``view_seeds`` pre-materializes views from the serving layer's
+        view cache (see :class:`ViewSeeds`): groups whose produced views
+        are all seeded are skipped outright, and computed views are
+        published back through ``view_seeds.publish``.
 
         The executed version is pinned for the duration (a caller-supplied
         snapshot gains a nested pin), so snapshot GC can never reclaim it
@@ -661,10 +696,36 @@ class LMFAO:
             self._snapshots.repin(snapshot)
         try:
             return self._execute_pinned(
-                compiled, watch, snapshot, binding, config
+                compiled, watch, snapshot, binding, config, view_seeds
             )
         finally:
             self._snapshots.unpin(snapshot.version)
+
+    @staticmethod
+    def _skippable_groups(
+        compiled: CompiledBatch, seeds: dict[str, dict]
+    ) -> set[int]:
+        """Group indices a seeded execution can skip entirely.
+
+        Walked in *reverse* execution order so consumers are decided
+        before their producers: a group must run iff it produces a query
+        (queries are never cached) or a view some running consumer needs
+        and the seeds do not provide; everything else is skipped. A
+        partial hit therefore prunes exactly the seeded subtrees.
+        """
+        skipped: set[int] = set()
+        needed: set[str] = set()
+        for index in reversed(compiled.execution_order):
+            plan = compiled.plans[index]
+            if plan.produced_queries or any(
+                name in needed for name in plan.produced_views
+            ):
+                needed.update(
+                    name for name in plan.consumed_views if name not in seeds
+                )
+            else:
+                skipped.add(index)
+        return skipped
 
     def _execute_pinned(
         self,
@@ -673,6 +734,7 @@ class LMFAO:
         snapshot: Snapshot,
         binding: PlanBinding | None,
         config: EngineConfig,
+        view_seeds: ViewSeeds | None = None,
     ) -> RunResult:
         if binding is not None:
             functions = binding.functions
@@ -690,6 +752,11 @@ class LMFAO:
             name: view.group_by for name, view in compiled.view_plan.views.items()
         }
         query_raw: dict[str, dict] = {}
+        seeds: dict[str, dict] = view_seeds.seeds if view_seeds is not None else {}
+        skipped: set[int] = set()
+        if seeds:
+            view_data.update(seeds)
+            skipped = self._skippable_groups(compiled, seeds)
 
         def store_outputs(index: int, outputs: dict[str, dict]) -> None:
             for emission in compiled.plans[index].emissions:
@@ -705,14 +772,18 @@ class LMFAO:
                 self._run_process(
                     compiled, view_data, view_group_by, store_outputs,
                     group_times, snapshot, functions, shared, decisions,
+                    skipped,
                 )
             elif config.workers > 1:
                 self._run_parallel(
                     compiled, view_data, view_group_by, store_outputs,
                     group_times, snapshot, functions, shared, decisions,
+                    skipped,
                 )
             else:
                 for index in compiled.execution_order:
+                    if index in skipped:
+                        continue
                     group = compiled.group_plan.groups[index]
                     plan = compiled.plans[index]
                     start = time.perf_counter()
@@ -740,6 +811,13 @@ class LMFAO:
                     store_outputs(index, outputs)
                     group_times[group.name] = time.perf_counter() - start
 
+        if view_seeds is not None and view_seeds.publish is not None:
+            # still inside the run's snapshot pin: the version (and its
+            # auxiliary resources) cannot be reclaimed mid-publish.
+            for name, data in view_data.items():
+                if seeds.get(name) is not data:
+                    view_seeds.publish(name, data)
+
         with watch.lap("collect"):
             results = {
                 query.name: _to_query_result(query, query_raw[query.name])
@@ -752,6 +830,9 @@ class LMFAO:
             group_times=group_times,
             snapshot_version=snapshot.version,
             decisions=decisions,
+            skipped_groups=tuple(
+                compiled.group_plan.groups[index].name for index in sorted(skipped)
+            ),
         )
 
     # ------------------------------------------------------------------ helpers
@@ -816,6 +897,7 @@ class LMFAO:
         functions: dict[str, Function],
         shared: tuple[Predicate, ...],
         decisions: dict[str, dict],
+        skipped: set[int] = frozenset(),
     ) -> None:
         """Domain parallelism across worker processes (``executor="process"``).
 
@@ -836,6 +918,8 @@ class LMFAO:
         executor.retain(snapshot.version)
         try:
             for index in compiled.execution_order:
+                if index in skipped:
+                    continue
                 group = compiled.group_plan.groups[index]
                 plan = compiled.plans[index]
                 start = time.perf_counter()
@@ -937,6 +1021,7 @@ class LMFAO:
         functions: dict[str, Function],
         shared: tuple[Predicate, ...],
         decisions: dict[str, dict],
+        skipped: set[int] = frozenset(),
     ) -> None:
         """Event-driven scheduler over both parallelism axes.
 
@@ -961,8 +1046,10 @@ class LMFAO:
             for i in range(num_groups)
         }
         consumers = _consumers_index(compiled.group_plan)
-        done: set[int] = set()
-        launched: set[int] = set()
+        # seeded-skip groups count as done from the start: their outputs
+        # are already in view_data, so consumers may launch over them.
+        done: set[int] = set(skipped)
+        launched: set[int] = set(skipped)
         pending: dict = {}  # Future -> ("prepare", index, None) | ("part", index, p)
         partial: dict[int, list] = {}  # index -> per-partition outputs
         outstanding: dict[int, int] = {}  # index -> partitions still running
@@ -1012,7 +1099,7 @@ class LMFAO:
 
         try:
             for index in range(num_groups):
-                if not remaining[index]:
+                if index not in launched and remaining[index] <= done:
                     launch(index)
             while len(done) < num_groups:
                 if not pending:

@@ -524,3 +524,29 @@ def execute_plan_partitioned(
         for trie in tries
     ]
     return merge_partial_outputs(plan, partial)
+
+
+def estimate_view_bytes(data: Mapping) -> int:
+    """A cheap, deterministic size estimate of one materialized view.
+
+    The view cache's byte accounting (:mod:`repro.serve.viewcache`) needs
+    a weight per entry without walking every key of a large view. Columnar
+    :class:`ArrayViewData` reports its arrays' true ``nbytes``; plain dict
+    views are estimated as ``entries × (per-key + per-aggregate cost)``
+    from one sampled entry. Estimates are stable for a given view, which
+    is all LRU weight accounting needs (the bound is approximate by
+    design — see ``docs/serving.md`` §View cache).
+    """
+    entries = len(data)
+    if entries == 0:
+        return 64
+    if isinstance(data, ArrayViewData) and data.has_columns:
+        return int(
+            sum(column.nbytes for column in data.key_columns)
+            + np.asarray(data.value_matrix).nbytes
+            + 64 * entries  # dict-mirror overhead per entry
+        )
+    key, values = next(iter(data.items()))
+    key_width = len(key) if isinstance(key, tuple) else 1
+    per_entry = 64 + 28 * key_width + 32 * len(values)
+    return 64 + entries * per_entry

@@ -184,6 +184,17 @@ class SnapshotStore:
         with self._lock:
             self._reclaim_hooks.append(hook)
 
+    def remove_reclaim_hook(self, hook) -> None:
+        """Deregister a hook added by :meth:`add_reclaim_hook` (idempotent).
+
+        Lets owners with shorter lifetimes than the store — the serving
+        layer's view cache — unhook on close instead of keeping a dead
+        reference called for every future reclaim.
+        """
+        with self._lock:
+            if hook in self._reclaim_hooks:
+                self._reclaim_hooks.remove(hook)
+
     def _collect_locked(self) -> list[int]:
         """Drop superseded, unpinned versions; returns what was reclaimed."""
         dead = [

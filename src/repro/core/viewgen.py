@@ -22,7 +22,14 @@ from repro.jointree.jointree import JoinTree
 from repro.query.aggregates import Factor
 from repro.query.batch import QueryBatch
 from repro.query.query import Query
-from repro.core.views import AggRef, Output, View, ViewAggregate
+from repro.core.views import (
+    AggRef,
+    Output,
+    View,
+    ViewAggregate,
+    ViewSignature,
+    view_signature,
+)
 from repro.util.errors import PlanError
 
 
@@ -36,6 +43,10 @@ class ViewPlan:
     outputs: list[Output] = field(default_factory=list)
     #: view name → names of the queries whose decomposition uses it.
     queries_using: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: memoized :meth:`view_signatures` result (computed on first use).
+    _signatures: dict[str, ViewSignature] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def views_on_edge(self, source: str, target: str) -> list[View]:
         """All merged views computed at ``source`` for ``target``."""
@@ -50,6 +61,30 @@ class ViewPlan:
     @property
     def num_views(self) -> int:
         return len(self.views)
+
+    def view_signatures(self) -> dict[str, ViewSignature]:
+        """Canonical batch-independent signature per view, memoized.
+
+        Signatures compose bottom-up over :attr:`View.referenced_views`
+        (see :func:`repro.core.views.view_signature`), so a view's
+        signature covers its whole subtree — structure, placeholder
+        slots and subtree relations alike.
+        """
+        if self._signatures is None:
+            sigs: dict[str, ViewSignature] = {}
+
+            def sig(name: str) -> ViewSignature:
+                cached = sigs.get(name)
+                if cached is None:
+                    view = self.views[name]
+                    children = tuple(sig(c) for c in view.referenced_views)
+                    cached = sigs[name] = view_signature(view, children)
+                return cached
+
+            for name in self.views:
+                sig(name)
+            self._signatures = sigs
+        return self._signatures
 
     def edge_view_counts(self) -> dict[tuple[str, str], int]:
         """Directed edge → number of merged views (the demo UI arrow widths)."""

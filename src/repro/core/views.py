@@ -133,6 +133,69 @@ class View:
         )
 
 
+@dataclass(frozen=True)
+class ViewSignature:
+    """Canonical structural identity of one (merged) view *subtree*.
+
+    Independent of the batch the view was generated for: function names
+    (which embed predicate constants for indicator factors) are abstracted
+    to positional placeholders in first-occurrence order, and child views
+    enter by their own signatures rather than their generated ``V{n}_…``
+    names. Two views from different batches with equal ``structure``
+    compute the same thing once the same concrete functions are bound to
+    their ``slots`` — the property the cross-request view cache keys on
+    (:func:`repro.serve.fingerprint.view_identities`).
+
+    ``slots`` names the concrete functions filling the placeholders, own
+    placeholders first then each child's slots in ``referenced_views``
+    order — the whole subtree's constants, since the view's data depends
+    on all of them. ``subtree`` is the set of join-tree relations the
+    view aggregates over (its source node plus every child subtree),
+    which is what delta routing intersects with changed relations.
+    """
+
+    structure: tuple
+    slots: tuple[str, ...]
+    subtree: frozenset[str]
+
+
+def view_signature(
+    view: "View", child_signatures: tuple[ViewSignature, ...]
+) -> ViewSignature:
+    """The canonical signature of ``view`` given its children's signatures.
+
+    ``child_signatures`` must be ordered like ``view.referenced_views``
+    (the order :meth:`repro.core.viewgen.ViewPlan.view_signatures`
+    guarantees). Aggregate slot order is preserved — it is the value
+    layout of the view's materialized ``ViewData``.
+    """
+    child_pos = {name: i for i, name in enumerate(view.referenced_views)}
+    placeholder: dict[str, int] = {}
+    aggs = []
+    for aggregate in view.aggregates:
+        factors = tuple(
+            (f.attribute, placeholder.setdefault(f.function.name, len(placeholder)))
+            for f in aggregate.factors
+        )
+        refs = tuple((child_pos[r.view], r.index) for r in aggregate.refs)
+        aggs.append((factors, refs))
+    structure = (
+        "V",
+        view.source,
+        view.target,
+        view.group_by,
+        tuple(aggs),
+        tuple(sig.structure for sig in child_signatures),
+    )
+    slots = tuple(placeholder) + tuple(
+        name for sig in child_signatures for name in sig.slots
+    )
+    subtree = frozenset({view.source}).union(
+        *(sig.subtree for sig in child_signatures)
+    )
+    return ViewSignature(structure=structure, slots=slots, subtree=subtree)
+
+
 @dataclass
 class Output:
     """A query's final computation at its root node.

@@ -12,9 +12,18 @@ through a bounded write-ahead delta queue
 """
 
 from repro.core.snapshot import Snapshot, SnapshotStore
-from repro.serve.fingerprint import BatchFingerprint, batch_fingerprint, bind_batch
+from repro.serve.fingerprint import (
+    BatchFingerprint,
+    ViewIdentity,
+    ViewKey,
+    batch_fingerprint,
+    bind_batch,
+    view_identities,
+)
+from repro.serve.lru import LRUCache
 from repro.serve.plancache import CacheStats, PlanCache
 from repro.serve.server import AggregateServer, ServerStats
+from repro.serve.viewcache import CachedView, ViewCache, ViewUpdater, live_caches
 from repro.serve.writequeue import WriteQueue, WriteStats, WriteTicket
 from repro.util.errors import WriteOverloadError
 
@@ -22,14 +31,22 @@ __all__ = [
     "AggregateServer",
     "BatchFingerprint",
     "CacheStats",
+    "CachedView",
+    "LRUCache",
     "PlanCache",
     "ServerStats",
     "Snapshot",
     "SnapshotStore",
+    "ViewCache",
+    "ViewIdentity",
+    "ViewKey",
+    "ViewUpdater",
     "WriteOverloadError",
     "WriteQueue",
     "WriteStats",
     "WriteTicket",
     "batch_fingerprint",
     "bind_batch",
+    "live_caches",
+    "view_identities",
 ]

@@ -204,3 +204,117 @@ def bind_batch(compiled: CompiledBatch, batch: QueryBatch) -> PlanBinding:
     return PlanBinding(
         batch=batch, functions=functions, shared_predicates=tuple(shared)
     )
+
+
+# ------------------------------------------------------------------ view keys
+
+
+@dataclass(frozen=True)
+class ViewIdentity:
+    """Version-independent identity of one materialized view's *contents*.
+
+    Wraps everything a view's ``ViewData`` depends on besides the
+    database version: the canonical subtree structure
+    (:class:`~repro.core.views.ViewSignature`), the concrete functions
+    bound to its placeholder slots (request constants, via
+    :class:`~repro.core.engine.PlanBinding` on cache hits), the pushed
+    shared predicates that filter any relation of its subtree, and the
+    *execution profile* — attribute orders, partition safety and
+    native/C availability of the producing groups over the subtree.
+
+    The profile is in the key for bit-exactness, not correctness of the
+    aggregates: group composition is batch-dependent, so a structurally
+    identical view may run under a different attribute order or backend
+    lowering in another batch, associating float additions differently.
+    Equal identity ⇒ byte-identical recomputation. Cost-model
+    *decisions* (``RunResult.decisions``) and the ``adaptive`` /
+    ``workers`` / ``partitions`` knobs stay out: within one server the
+    config is fixed and decisions are deterministic functions of the
+    snapshot's trie statistics, which the snapshot version already pins.
+    """
+
+    key: tuple
+
+    def __repr__(self) -> str:  # the raw key is long and unenlightening
+        return f"ViewIdentity(0x{hash(self.key) & 0xFFFFFFFF:08x})"
+
+
+@dataclass(frozen=True)
+class ViewKey:
+    """Cache key of one materialized view: ``(identity, snapshot_version)``.
+
+    The version pins the data the view was computed over; the identity
+    pins everything else. Cross-request sharing happens when different
+    batch fingerprints yield equal identities at the same version.
+    """
+
+    identity: ViewIdentity
+    version: int
+
+
+def view_identities(
+    compiled: CompiledBatch, binding: PlanBinding | None = None
+) -> dict[str, ViewIdentity]:
+    """Per-view cache identities for one request against a compilation.
+
+    Derives, for every view of ``compiled.view_plan``, the
+    :class:`ViewIdentity` of the ``ViewData`` this request's execution
+    would materialize for it — the canonical signature with this
+    request's constants bound in (``binding`` when the request rides a
+    plan-cache hit, the compiled batch's own functions otherwise). Pair
+    with the snapshot version via :class:`ViewKey` to address the
+    :class:`~repro.serve.viewcache.ViewCache`.
+    """
+    signatures = compiled.view_plan.view_signatures()
+    functions = binding.functions if binding is not None else compiled.functions
+    shared = (
+        binding.shared_predicates
+        if binding is not None
+        else compiled.shared_predicates
+    )
+    tree = compiled.tree
+
+    producer: dict[str, int] = {}
+    for index, plan in enumerate(compiled.plans):
+        for name in plan.produced_views:
+            producer[name] = index
+
+    profiles: dict[str, tuple] = {}
+
+    def profile(name: str) -> tuple:
+        cached = profiles.get(name)
+        if cached is not None:
+            return cached
+        index = producer[name]
+        plan = compiled.plans[index]
+        own = (
+            plan.order,
+            plan.partition_safe,
+            compiled.native_groups[index] is None
+            if compiled.native_groups
+            else True,
+            compiled.c_groups[index] is None if compiled.c_groups else True,
+        )
+        children = tuple(
+            profile(child)
+            for child in compiled.view_plan.views[name].referenced_views
+        )
+        profiles[name] = result = (own, children)
+        return result
+
+    identities: dict[str, ViewIdentity] = {}
+    for name, signature in signatures.items():
+        constants = tuple(
+            functions[slot].name if slot in functions else slot
+            for slot in signature.slots
+        )
+        subtree_attrs = frozenset(
+            attr for node in signature.subtree for attr in tree.attributes(node)
+        )
+        applicable_shared = tuple(
+            sorted(p.signature for p in shared if p.attribute in subtree_attrs)
+        )
+        identities[name] = ViewIdentity(
+            key=(signature.structure, constants, applicable_shared, profile(name))
+        )
+    return identities

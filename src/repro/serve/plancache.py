@@ -5,44 +5,19 @@ the :class:`~repro.core.engine.CompiledBatch` of the first request that
 compiled that structure. Compiled batches are pure structure (no data
 dependence), so an entry stays valid across snapshot versions forever —
 eviction exists only to bound memory, not for correctness. Thread-safe;
-all operations are O(1) under one lock (an ``OrderedDict`` in LRU
-discipline: hits refresh recency, inserts evict from the cold end).
+all operations are O(1) under one lock, delegated to the shared
+:class:`~repro.serve.lru.LRUCache` (an ``OrderedDict`` in LRU discipline:
+hits refresh recency, inserts evict from the cold end).
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from dataclasses import dataclass
-
 from repro.core.engine import CompiledBatch
 from repro.serve.fingerprint import BatchFingerprint
+from repro.serve.lru import CacheStats, LRUCache
 from repro.util.errors import PlanError
 
-
-@dataclass(frozen=True)
-class CacheStats:
-    """Counters of one :class:`PlanCache` at a point in time.
-
-    ``hits`` / ``misses`` count :meth:`PlanCache.get` outcomes,
-    ``evictions`` counts entries dropped from the cold end on insert;
-    ``entries`` / ``capacity`` describe current occupancy.
-    """
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    entries: int = 0
-    capacity: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when none yet)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+__all__ = ["CacheStats", "PlanCache"]
 
 
 class PlanCache:
@@ -53,35 +28,21 @@ class PlanCache:
             raise PlanError(
                 f"PlanCache capacity must be an integer >= 1, got {capacity!r}"
             )
-        self._capacity = capacity
-        self._entries: "OrderedDict[BatchFingerprint, CompiledBatch]" = OrderedDict()
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._cache = LRUCache(capacity=capacity)
 
     @property
     def capacity(self) -> int:
-        return self._capacity
+        return self._cache.capacity
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return len(self._cache)
 
     def __contains__(self, fingerprint: BatchFingerprint) -> bool:
-        with self._lock:
-            return fingerprint in self._entries
+        return fingerprint in self._cache
 
     def get(self, fingerprint: BatchFingerprint) -> CompiledBatch | None:
         """The cached compilation, refreshed to most-recently-used; None on miss."""
-        with self._lock:
-            compiled = self._entries.get(fingerprint)
-            if compiled is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(fingerprint)
-            self._hits += 1
-            return compiled
+        return self._cache.get(fingerprint)
 
     def put(self, fingerprint: BatchFingerprint, compiled: CompiledBatch) -> None:
         """Insert (or refresh) an entry, evicting from the cold end if full.
@@ -90,28 +51,15 @@ class PlanCache:
         the last write wins and both compiled objects remain individually
         valid (entries are immutable structure, holders keep references).
         """
-        with self._lock:
-            self._entries[fingerprint] = compiled
-            self._entries.move_to_end(fingerprint)
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+        self._cache.put(fingerprint, compiled)
 
     def clear(self) -> None:
         """Drop every entry (stats counters are kept)."""
-        with self._lock:
-            self._entries.clear()
+        self._cache.clear()
 
     def stats(self) -> CacheStats:
         """A consistent point-in-time snapshot of the counters."""
-        with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                evictions=self._evictions,
-                entries=len(self._entries),
-                capacity=self._capacity,
-            )
+        return self._cache.stats()
 
     def __repr__(self) -> str:
         s = self.stats()

@@ -9,6 +9,14 @@ engine for serving heavy concurrent traffic:
   with predicate constants re-bound at execution
   (:func:`~repro.serve.fingerprint.bind_batch`), LRU-bounded with hit/miss
   stats (:class:`~repro.serve.plancache.PlanCache`);
+* **materialized-view cache** — above the plan cache, computed views are
+  published to a byte-bounded cross-request cache keyed by
+  ``(canonical view identity, snapshot version)``
+  (:mod:`repro.serve.viewcache`); later requests — same *or different*
+  batch fingerprints — seed execution from hits, skipping the seeded
+  subtrees' scans entirely, and group commits carry clean entries across
+  versions, refresh insert-only-dirty ones via the O(|Δ|) numeric rules
+  and invalidate exactly the rest;
 * **snapshot-isolated reads** — :meth:`run` / :meth:`submit` pin the
   engine's current :class:`~repro.core.snapshot.Snapshot` at entry and
   release it on completion; the pin refcount both isolates the read from
@@ -76,9 +84,24 @@ import weakref
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.core.engine import EngineConfig, LMFAO, RunResult
+from repro.core.engine import (
+    CompiledBatch,
+    EngineConfig,
+    LMFAO,
+    PlanBinding,
+    RunResult,
+    ViewSeeds,
+)
+from repro.core.runtime import estimate_view_bytes, partition_tries
+from repro.core.runtime import apply_predicates, local_predicates
+from repro.core.snapshot import Snapshot
 from repro.data.catalog import Database
-from repro.incremental.delta import RelationDelta, normalize_deltas
+from repro.data.trie import TrieIndex
+from repro.incremental.delta import (
+    RelationDelta,
+    delta_footprint,
+    normalize_deltas,
+)
 from repro.incremental.maintain import (
     ApplyResult,
     MaintainedBatch,
@@ -88,10 +111,13 @@ from repro.query.batch import QueryBatch
 from repro.serve.fingerprint import (
     BatchFingerprint,
     Constant,
+    ViewKey,
     batch_fingerprint,
     bind_batch,
+    view_identities,
 )
 from repro.serve.plancache import CacheStats, PlanCache
+from repro.serve.viewcache import CachedView, ViewCache, ViewUpdater
 from repro.serve.writequeue import WriteQueue, WriteStats, WriteTicket
 from repro.util.errors import PlanError
 
@@ -111,7 +137,11 @@ class ServerStats:
     against a concurrent group commit;
     ``live_snapshots`` — versions the snapshot store still retains
     (current + pinned predecessors); bounded under sustained writes by
-    snapshot GC.
+    snapshot GC;
+    ``view_cache`` — the materialized-view cache's counters (hits,
+    misses, evictions, live entries, bytes via ``weight``/``max_weight``),
+    read inside the same commit-lock block as the version and write
+    counters; None when the cache is disabled (``view_cache_bytes=0``).
     """
 
     plan_cache: CacheStats
@@ -121,6 +151,7 @@ class ServerStats:
     snapshot_version: int = 0
     writes: WriteStats | None = None
     live_snapshots: int = 1
+    view_cache: CacheStats | None = None
 
 
 class AggregateServer:
@@ -151,6 +182,15 @@ class AggregateServer:
         ``apply`` wait for room, ``"reject"`` raises
         :class:`~repro.util.errors.WriteOverloadError`, ``"coalesce"``
         merges the incoming delta into the newest queued entry.
+    view_cache_bytes:
+        Byte bound of the cross-request materialized-view cache (default
+        32 MiB; 0 disables it). Executions seed from cached views of the
+        same identity and snapshot version — a request whose view subtree
+        was computed by *any* earlier request skips that subtree's scans
+        — and publish what they computed; group commits carry clean
+        entries across versions, refresh insert-only-dirty ones via the
+        O(|Δ|) numeric rules and invalidate the rest
+        (``docs/serving.md`` §View cache).
     """
 
     def __init__(
@@ -162,14 +202,29 @@ class AggregateServer:
         request_workers: int = 4,
         write_capacity: int = 256,
         write_policy: str = "block",
+        view_cache_bytes: int = 32 * 1024 * 1024,
     ) -> None:
         if not isinstance(request_workers, int) or request_workers < 1:
             raise PlanError(
                 f"AggregateServer request_workers must be an integer >= 1, "
                 f"got {request_workers!r}"
             )
+        if not isinstance(view_cache_bytes, int) or view_cache_bytes < 0:
+            raise PlanError(
+                f"AggregateServer view_cache_bytes must be an integer >= 0 "
+                f"(0 disables the view cache), got {view_cache_bytes!r}"
+            )
         self.engine = LMFAO(db, config)
         self.plan_cache = PlanCache(plan_cache_capacity)
+        self.view_cache: ViewCache | None = None
+        self._view_reclaim_hook = None
+        if view_cache_bytes:
+            self.view_cache = ViewCache(view_cache_bytes)
+            self.view_cache.bind_store(self.engine._snapshots)
+            # cached views die with their snapshot version unless a group
+            # commit carried them forward first (docs/serving.md §View cache)
+            self._view_reclaim_hook = self.view_cache.drop_version
+            self.engine._snapshots.add_reclaim_hook(self._view_reclaim_hook)
         self._pool = ThreadPoolExecutor(
             max_workers=request_workers, thread_name_prefix="lmfao-serve"
         )
@@ -271,9 +326,88 @@ class AggregateServer:
             with watch.lap("compile"):
                 compiled = self.engine.compile(batch, snapshot=snapshot)
             self.plan_cache.put(fingerprint, compiled)
-            return self.engine.execute(compiled, watch=watch, snapshot=snapshot)
+            return self.engine.execute(
+                compiled,
+                watch=watch,
+                snapshot=snapshot,
+                view_seeds=self._view_seeds(compiled, None, snapshot),
+            )
         binding = bind_batch(compiled, batch)
-        return self.engine.execute(compiled, snapshot=snapshot, binding=binding)
+        return self.engine.execute(
+            compiled,
+            snapshot=snapshot,
+            binding=binding,
+            view_seeds=self._view_seeds(compiled, binding, snapshot),
+        )
+
+    def _view_seeds(
+        self,
+        compiled: CompiledBatch,
+        binding: PlanBinding | None,
+        snapshot: Snapshot,
+    ) -> ViewSeeds | None:
+        """Seed one execution from the view cache; wire its publish sink.
+
+        Looks every view of the compilation up by ``(identity, version)``
+        — hits become engine seeds (their producing subtrees are skipped,
+        see :meth:`LMFAO._skippable_groups`) — and returns a publish
+        callback that installs each view the run actually computes,
+        together with the :class:`~repro.serve.viewcache.ViewUpdater`
+        the group-commit refresh needs. The callback fires while the
+        run still holds its snapshot pin, so the version cannot be
+        reclaimed mid-publish; a publish against a version superseded
+        meanwhile is still keyed correctly and dies with the version's
+        reclaim once the pin drops.
+        """
+        cache = self.view_cache
+        if cache is None:
+            return None
+        identities = view_identities(compiled, binding)
+        signatures = compiled.view_plan.view_signatures()
+        version = snapshot.version
+        seeds: dict[str, dict] = {}
+        for name, identity in identities.items():
+            entry = cache.get(ViewKey(identity, version))
+            if entry is not None:
+                seeds[name] = entry.data
+        if binding is not None:
+            functions = binding.functions
+            shared = binding.shared_predicates
+        else:
+            functions = compiled.functions
+            shared = compiled.shared_predicates
+        producer = {
+            name: index
+            for index, plan in enumerate(compiled.plans)
+            for name in plan.produced_views
+        }
+
+        def publish(name: str, data: dict) -> None:
+            index = producer[name]
+            updater = ViewUpdater(
+                compiled=compiled,
+                view_name=name,
+                group_index=index,
+                functions=functions,
+                shared=shared,
+                consumed=tuple(
+                    (consumed, identities[consumed])
+                    for consumed in compiled.plans[index].consumed_views
+                ),
+            )
+            cache.put(
+                ViewKey(identities[name], version),
+                CachedView(
+                    data=data,
+                    nbytes=estimate_view_bytes(data),
+                    node=compiled.view_plan.views[name].source,
+                    subtree=signatures[name].subtree,
+                    identity=identities[name],
+                    updater=updater,
+                ),
+            )
+
+        return ViewSeeds(seeds=seeds, publish=publish)
 
     # ------------------------------------------------------------------ updates
     def apply(
@@ -369,6 +503,7 @@ class AggregateServer:
                 for name, delta in deltas.items()
             }
             successor = snapshot.with_relations(staged)
+            refreshed = self._refresh_view_cache(snapshot, deltas)
             advanced = [
                 (handle, *handle._advance_state(deltas, successor))
                 for handle in list(self._handles)
@@ -378,7 +513,182 @@ class AggregateServer:
             for handle, new_state, result in advanced:
                 handle._commit_state(new_state)
                 by_handle[handle] = result
+            if self.view_cache is not None:
+                # published only now, after the install: the successor is a
+                # retained version, so the no-orphans invariant never has a
+                # window where cached keys point at an uninstalled version.
+                for entry in refreshed:
+                    self.view_cache.put(
+                        ViewKey(entry.identity, successor.version), entry
+                    )
+                for handle, result in by_handle.items():
+                    self._republish_handle_views(
+                        handle, result, successor.version
+                    )
             return successor.version, by_handle
+
+    def _refresh_view_cache(
+        self, snapshot: Snapshot, deltas: dict[str, RelationDelta]
+    ) -> list[CachedView]:
+        """Route one commit's deltas through the view cache (pre-install).
+
+        For every entry at the pre-commit version, against the delta
+        footprint (:func:`~repro.incremental.delta.delta_footprint`):
+
+        * subtree untouched → **carry forward**: the same entry (same
+          data object) is republished at the successor version;
+        * dirty at exactly its own node, insert-only, updater intact and
+          the engine not pinned to ``incremental_mode="rescan"`` →
+          **numeric in-place refresh**: the producing group re-runs over
+          a trie of just the inserted tuples and merges O(|Δ|)-style
+          (:meth:`~repro.incremental.maintain.MaintainedBatch._merge_delta_outputs`);
+        * anything else → **invalidate**: the key simply never exists at
+          the successor (the old entry stays valid for readers still
+          pinned to the old version and dies with it).
+
+        Returns the entries to publish at the successor version after
+        install. Runs under the commit mutex on the committer thread.
+        """
+        cache = self.view_cache
+        if cache is None:
+            return []
+        footprint = delta_footprint(deltas)
+        changed = set(footprint)
+        rescan_only = self.engine.config.incremental_mode == "rescan"
+        refreshed: list[CachedView] = []
+        for _key, entry in cache.entries_at(snapshot.version):
+            dirty = entry.subtree & changed
+            if not dirty:
+                refreshed.append(entry)
+                continue
+            if (
+                dirty == {entry.node}
+                and footprint[entry.node]
+                and entry.updater is not None
+                and not rescan_only
+            ):
+                fresh = self._numeric_refresh(
+                    entry, deltas[entry.node], snapshot.version
+                )
+                if fresh is not None:
+                    refreshed.append(fresh)
+        return refreshed
+
+    def _numeric_refresh(
+        self, entry: CachedView, delta: RelationDelta, version: int
+    ) -> CachedView | None:
+        """One cached view updated in place by an insert-only delta.
+
+        The exact numeric rule of the incremental maintainer, driven from
+        the cache: re-run the producing group's compiled code over a trie
+        of just the (shared-predicate-filtered) inserted tuples, binding
+        the *cached* child views at the pre-commit version, and merge the
+        emitted deltas copy-on-write into the cached data. Returns None —
+        falling back to plain invalidation — when a consumed view was
+        evicted meanwhile or the refresh fails for any reason; a cache
+        refresh must never fail the commit.
+        """
+        updater = entry.updater
+        compiled = updater.compiled
+        consumed_data: dict[str, dict] = {}
+        for name, identity in updater.consumed:
+            centry = self.view_cache.peek(ViewKey(identity, version))
+            if centry is None:
+                return None
+            consumed_data[name] = centry.data
+        plan = compiled.plans[updater.group_index]
+        try:
+            inserts = delta.inserts
+            relation = apply_predicates(
+                inserts,
+                local_predicates(inserts.attribute_names, updater.shared),
+            )
+            trie = TrieIndex(relation, plan.order)
+            tries = partition_tries(
+                plan,
+                trie,
+                self.engine.config.partitions,
+                self.engine.config.parallel_threshold,
+                self.engine._partition_concurrency(),
+            )
+            outputs = self.engine._execute_group_partitioned(
+                compiled,
+                updater.group_index,
+                tries,
+                consumed_data,
+                {
+                    name: view.group_by
+                    for name, view in compiled.view_plan.views.items()
+                },
+                updater.functions,
+                snapshot=None,
+                shared=updater.shared,
+            )
+            merged, _changed = MaintainedBatch._merge_delta_outputs(
+                entry.data, outputs[updater.view_name]
+            )
+        except Exception:
+            return None
+        return CachedView(
+            data=merged,
+            nbytes=estimate_view_bytes(merged),
+            node=entry.node,
+            subtree=entry.subtree,
+            identity=entry.identity,
+            updater=updater,
+        )
+
+    def _republish_handle_views(
+        self, handle: MaintainedBatch, result: ApplyResult, version: int
+    ) -> None:
+        """Publish a maintained handle's just-refreshed views at ``version``.
+
+        The maintainer already computed exact successor contents for
+        every view the commit touched (``result.refreshed_views``);
+        publishing them keeps hot views warm for plain :meth:`run`
+        requests sharing the structure, instead of cold-starting every
+        reader after a write. Handle view stores are copy-on-write, so
+        sharing the data by reference is safe.
+        """
+        cache = self.view_cache
+        if cache is None or not result.refreshed_views:
+            return
+        compiled = handle.compiled
+        identities = view_identities(compiled)
+        signatures = compiled.view_plan.view_signatures()
+        producer = {
+            name: index
+            for index, plan in enumerate(compiled.plans)
+            for name in plan.produced_views
+        }
+        store = handle.view_store()
+        for name in result.refreshed_views:
+            data = store.get(name)
+            if data is None or name not in producer:
+                continue
+            index = producer[name]
+            updater = ViewUpdater(
+                compiled=compiled,
+                view_name=name,
+                group_index=index,
+                functions=compiled.functions,
+                shared=compiled.shared_predicates,
+                consumed=tuple(
+                    (consumed, identities[consumed])
+                    for consumed in compiled.plans[index].consumed_views
+                ),
+            )
+            cache.put(
+                ViewKey(identities[name], version),
+                CachedView(
+                    data=data,
+                    nbytes=estimate_view_bytes(data),
+                    node=compiled.view_plan.views[name].source,
+                    subtree=signatures[name].subtree,
+                    identity=identities[name],
+                    updater=updater,
+                ),
+            )
 
     def maintain(self, batch: QueryBatch) -> MaintainedBatch:
         """Compile a batch once and keep its results incrementally maintained.
@@ -421,6 +731,9 @@ class AggregateServer:
             snapshot_version = self.engine.snapshot().version
             writes = self._writes.stats()
             live_snapshots = len(self.engine._snapshots.retained_versions())
+            view_cache = (
+                self.view_cache.stats() if self.view_cache is not None else None
+            )
         return ServerStats(
             plan_cache=self.plan_cache.stats(),
             submitted=submitted,
@@ -429,6 +742,7 @@ class AggregateServer:
             snapshot_version=snapshot_version,
             writes=writes,
             live_snapshots=live_snapshots,
+            view_cache=view_cache,
         )
 
     def close(self) -> None:
@@ -450,6 +764,9 @@ class AggregateServer:
             self._closed = True
         self._writes.close(flush=True)
         self._pool.shutdown(wait=True)
+        if self._view_reclaim_hook is not None:
+            self.engine._snapshots.remove_reclaim_hook(self._view_reclaim_hook)
+            self._view_reclaim_hook = None
         self.engine.close()
 
     def __enter__(self) -> "AggregateServer":
@@ -461,10 +778,18 @@ class AggregateServer:
     def __repr__(self) -> str:
         s = self.stats()  # one coherent reading (see stats())
         writes = s.writes or WriteStats()
+        if s.view_cache is None:
+            views = "off"
+        else:
+            v = s.view_cache
+            views = (
+                f"{v.entries}e/{v.weight}B "
+                f"h{v.hits}/m{v.misses}/e{v.evictions}"
+            )
         return (
             f"AggregateServer(version={s.snapshot_version}, "
             f"plans={s.plan_cache.entries}/{s.plan_cache.capacity}, "
             f"hit_rate={s.plan_cache.hit_rate:.2f}, inflight={s.inflight}, "
             f"writes={writes.committed_writes}/{writes.committed_groups}g, "
-            f"live_snapshots={s.live_snapshots})"
+            f"views={views}, live_snapshots={s.live_snapshots})"
         )

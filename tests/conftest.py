@@ -21,6 +21,18 @@ backend. Tests that construct explicit configs (including the
 differential grids, which pin ``backend="python"`` baselines) are
 unaffected.
 
+The view-cache leg re-runs the serving + incremental suites with the
+materialized-view cache forced on or off::
+
+    LMFAO_TEST_VIEWCACHE=1   # force on at the default 32 MiB budget
+    LMFAO_TEST_VIEWCACHE=0   # force off (every server runs cache-less)
+    LMFAO_TEST_VIEWCACHE=65536  # force on with a 64 KiB byte budget
+
+which rewrites the ``view_cache_bytes`` keyword-only default of
+:class:`AggregateServer`; servers constructed with an explicit
+``view_cache_bytes`` are unaffected. Unset leaves the shipped default
+(cache on).
+
 Two more knobs thread the cost-based adaptive layer through the suite:
 ``LMFAO_TEST_ADAPTIVE=0`` rewrites the ``adaptive`` default (the static
 ablation baseline), and ``LMFAO_FORCE_STRATEGY=hash|sort|auto`` — read
@@ -76,6 +88,26 @@ def _override_engine_defaults() -> None:
 _override_engine_defaults()
 
 
+def _override_view_cache_default() -> None:
+    raw = os.environ.get("LMFAO_TEST_VIEWCACHE")
+    if raw is None:
+        return
+    from repro.serve.server import AggregateServer
+
+    if raw in {"0", "off", "false", ""}:
+        value = 0
+    elif raw in {"1", "on", "true"}:
+        value = AggregateServer.__init__.__kwdefaults__["view_cache_bytes"]
+    else:
+        value = int(raw)
+    # view_cache_bytes is keyword-only, so its default lives in
+    # __kwdefaults__, not __defaults__.
+    AggregateServer.__init__.__kwdefaults__["view_cache_bytes"] = value
+
+
+_override_view_cache_default()
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _no_shared_memory_leaks():
     """Fail the session if any shared-memory segment outlives its engine.
@@ -103,6 +135,10 @@ def _no_shared_memory_leaks():
     gc.collect()
     leaked = mpexec.active_segment_names()
     assert leaked == [], f"leaked shared-memory segments: {leaked}"
+    from repro.serve.viewcache import live_caches
+
+    for cache in live_caches():
+        cache.check_no_orphans()
     if os.path.isdir(shm_dir):
         stray = set(glob.glob(os.path.join(shm_dir, "lmfao_*"))) - baseline
         assert not stray, f"stray /dev/shm segments after the suite: {stray}"

@@ -101,16 +101,25 @@ def test_bench_serving_smoke(tmp_path):
     at smoke request counts and asserted on full runs."""
     bench = _load_bench("bench_serving")
     out = tmp_path / "BENCH_serving.json"
-    argv = ["--scale", "0.02", "--requests", "2", "--rounds", "3",
-            "--out", str(out)]
+    argv = ["--scale", "0.02", "--view-scale", "0.02", "--requests", "2",
+            "--rounds", "3", "--out", str(out)]
     assert bench.main(argv) == 0
     report = json.loads(out.read_text())
     cache = report["plan_cache"]
     assert cache["bit_exact_vs_cold_compile"]
     assert cache["hit_speedup"] > 0
     assert cache["plan_cache"]["misses"] == 1  # one structure, compiled once
+    views = report["view_cache"]
+    assert views["bit_exact_vs_cache_off"]
+    assert views["warm_speedup"] > 0
+    # cross-fingerprint sharing: user 0's second pass plus both of every
+    # later user's passes run seeded from the cache
+    assert views["seeded_requests"] == 2 * views["users"] - 1
+    assert views["view_cache"]["hits"] > 0
+    assert 0 < views["view_cache"]["hit_rate"] <= 1
     mixed = report["mixed_workload"]
     assert mixed["bit_exact_vs_sequential_oracle"]
     assert mixed["torn_reads"] == 0
     assert mixed["concurrent_reads"] > 0
     assert "skipped" in report["hit_speedup_assertion"]
+    assert "skipped" in report["view_cache_speedup_assertion"]
