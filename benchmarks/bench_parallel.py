@@ -33,6 +33,15 @@ and checks three claims:
   (``native_groups == num_groups`` is a hard assert on every numpy
   point, both batches), and sequential NumPy ≥ 3× sequential Python at
   full size (row-gated like the 5× gate above);
+* **ordered top-k** — a leaderboard batch (``order_by``/``limit``)
+  runs factorised through the engine against a competent flat consumer
+  (materialise the join every request, numpy ``unique``/``bincount``
+  grouping, ``lexsort`` rank + truncate). Every engine point — each
+  backend sequential plus a partitioned numpy corner — must reproduce
+  the flat ranking *as a sequence* (rank and tie order, hard at any
+  scale), each point records the finishing kernels the cost model
+  picked, and at full size sequential numpy must beat the flat
+  baseline by ≥ 3× (row-gated like the other gates);
 * **adaptive anti-regression** — an adaptive column (default
   ``parallel_threshold``, ``adaptive=True``: the cost model decides
   partition counts and grouping strategies itself) guards the two
@@ -66,7 +75,7 @@ import numpy as np
 from repro.core import EngineConfig, LMFAO
 from repro.core.cbackend import gcc_available
 from repro.data import Attribute, Database, Relation, RelationSchema
-from repro.query import Aggregate, Factor, Query, QueryBatch
+from repro.query import Aggregate, Factor, OrderSpec, Query, QueryBatch
 from repro.query.functions import identity, square
 
 _C = Attribute.categorical
@@ -161,6 +170,95 @@ def carried_batch() -> QueryBatch:
             )),
         ]
     )
+
+
+def topk_batch(k: int = 3) -> QueryBatch:
+    """A leaderboard batch over the scaling dataset.
+
+    ``t_top_keys_per_g`` groups by ``(g, k)`` — the join-key domain, so
+    the grouped result is large (≈ ``n_keys × 32`` rows at full size)
+    and ranking it is real work; ``t_top_h`` is a small global top-k
+    riding the same scans.
+    """
+    return QueryBatch(
+        [
+            Query(
+                "t_top_keys_per_g",
+                group_by=("g", "k"),
+                aggregates=(Aggregate.sum("x"), Aggregate.count()),
+                order_by=OrderSpec(
+                    agg_index=0, descending=True, partition_by=("g",)
+                ),
+                limit=k,
+            ),
+            Query(
+                "t_top_h",
+                group_by=("h",),
+                aggregates=(Aggregate.sum("y"),),
+                order_by=OrderSpec(agg_index=0, descending=True),
+                limit=k,
+            ),
+        ]
+    )
+
+
+def _flat_topk(join, query: Query) -> dict:
+    """Sort-the-flat-join baseline for one ordered query.
+
+    A competent non-factorised consumer: numpy grouping over the
+    materialised join (``unique``/``bincount``), then one ``lexsort``
+    over ``(partition, ±value, residual key)`` — the engine's tie-break
+    contract — and a counting walk to truncate each partition at ``k``.
+    """
+    spec = query.order_by
+    stacked = np.stack([np.asarray(join.column(a)) for a in query.group_by], axis=1)
+    uniq, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    values = []
+    for agg in query.aggregates:
+        weights = np.ones(join.num_rows, dtype=float)
+        for factor in agg.factors:
+            weights = weights * factor.function.vectorized(
+                np.asarray(join.column(factor.attribute), dtype=float)
+            )
+        values.append(np.bincount(inverse, weights=weights, minlength=len(uniq)))
+    part_idx = [query.group_by.index(a) for a in spec.partition_by]
+    res_idx = [i for i in range(len(query.group_by)) if i not in part_idx]
+    sign = -1.0 if spec.descending else 1.0
+    # least-significant key first, per np.lexsort
+    keys = [uniq[:, j] for j in reversed(res_idx)]
+    keys.append(sign * values[spec.agg_index])
+    keys.extend(uniq[:, j] for j in reversed(part_idx))
+    order = np.lexsort(tuple(keys))
+    groups: dict = {}
+    if query.limit == 0:
+        return groups
+    taken: dict = {}
+    for i in order:
+        part = tuple(uniq[i, j].item() for j in part_idx)
+        count = taken.get(part, 0)
+        if query.limit is not None and count >= query.limit:
+            continue
+        taken[part] = count + 1
+        groups[tuple(v.item() for v in uniq[i])] = tuple(
+            float(v[i]) for v in values
+        )
+    return groups
+
+
+def _time_flat_topk(db: Database, batch: QueryBatch, repeats: int) -> tuple[float, dict]:
+    """Best-of-N of the flat consumer — which pays the join every request."""
+
+    def run_once() -> dict:
+        join = db.materialize_join()
+        return {query.name: _flat_topk(join, query) for query in batch}
+
+    results = run_once()  # warm-up, symmetric with _time_execute
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = run_once()
+        best = min(best, time.perf_counter() - start)
+    return best, results
 
 
 def _time_execute(
@@ -403,6 +501,61 @@ def run_grid(rows: int, repeats: int) -> dict:
         f"{carried_adaptive_seconds * 1e3:8.1f} ms"
     )
 
+    # ------------------------------------------------------ ordered top-k
+    # factorised leaderboards vs the sort-the-flat-join consumer. The flat
+    # result is itself an independent ranking implementation, so sequence
+    # equality here is a differential check, not a self-comparison.
+    tbatch = topk_batch()
+    flat_seconds, flat_results = _time_flat_topk(db, tbatch, repeats)
+    print(f"  topk  flat-join baseline        {flat_seconds * 1e3:8.1f} ms")
+    topk_points = []
+    topk_grid = [(backend, 1, 1) for backend in backends]
+    topk_grid.append(("numpy", 4, 4))
+    for backend, workers, partitions in topk_grid:
+        engine = LMFAO(
+            db,
+            EngineConfig(
+                backend=backend,
+                workers=workers,
+                partitions=partitions,
+                parallel_threshold=0,
+            ),
+        )
+        seconds, results, decisions = _time_execute(
+            engine, engine.compile(tbatch), repeats
+        )
+        ordered_exact = all(
+            list(results[query.name].items()) == list(flat_results[query.name].items())
+            for query in tbatch
+        )
+        assert ordered_exact, (
+            f"topk {backend} workers={workers} partitions={partitions} "
+            f"diverged from the flat-join ranking (sequence compare)"
+        )
+        kernels = {
+            name: strategy
+            for entry in decisions.values()
+            for name, strategy in entry.get("topk", {}).items()
+        }
+        assert set(kernels) == {query.name for query in tbatch}, (
+            f"topk {backend}: finishing kernels not recorded for every "
+            f"ordered query: {kernels}"
+        )
+        topk_points.append(
+            {
+                "backend": backend,
+                "workers": workers,
+                "partitions": partitions,
+                "seconds": seconds,
+                "ordered_exact_vs_flat_baseline": ordered_exact,
+                "kernels": kernels,
+            }
+        )
+        print(
+            f"  topk  {backend:>6}  workers={workers}  partitions={partitions}  "
+            f"{seconds * 1e3:8.1f} ms  kernels={kernels}"
+        )
+
     def seconds_at(backend: str, workers: int, partitions: int) -> float | None:
         for p in points:
             if (p["backend"], p["workers"], p["partitions"]) == (
@@ -432,6 +585,8 @@ def run_grid(rows: int, repeats: int) -> dict:
         "carried_grid": carried_points,
         "adaptive_grid": adaptive_points,
         "carried_adaptive": carried_adaptive,
+        "topk_flat_baseline_seconds": flat_seconds,
+        "topk_grid": topk_points,
     }
 
     # -------------------------------------------- adaptive anti-regression
@@ -591,6 +746,37 @@ def run_grid(rows: int, repeats: int) -> dict:
                 f"numpy backend only {speedup:.2f}x over sequential Python "
                 f"on the carried-heavy batch at {rows} rows (expected >= 3x)"
             )
+    topk_np_seq = next(
+        (
+            p["seconds"]
+            for p in topk_points
+            if (p["backend"], p["workers"], p["partitions"]) == ("numpy", 1, 1)
+        ),
+        None,
+    )
+    if topk_np_seq is not None:
+        speedup = flat_seconds / topk_np_seq
+        report["topk_factorised_over_flat_sort"] = speedup
+        strict = os.environ.get("LMFAO_BENCH_STRICT", "1") != "0"
+        if rows < _NUMPY_ASSERT_MIN_ROWS:
+            report["topk_speedup_assertion"] = (
+                f"skipped: {rows} rows < {_NUMPY_ASSERT_MIN_ROWS} (smoke run)"
+            )
+        elif speedup < 3.0 and not strict:
+            report["topk_speedup_assertion"] = (
+                f"FAILED (non-strict): {speedup:.2f}x"
+            )
+            print(
+                f"WARNING: factorised top-k only {speedup:.2f}x over the "
+                f"sort-the-flat-join baseline, expected >= 3x (non-strict mode)"
+            )
+        else:
+            assert speedup >= 3.0, (
+                f"factorised top-k (sequential numpy) only {speedup:.2f}x "
+                f"over the sort-the-flat-join baseline at {rows} rows "
+                f"(expected >= 3x)"
+            )
+            report["topk_speedup_assertion"] = f"passed: {speedup:.2f}x"
     return report
 
 
@@ -627,6 +813,9 @@ def main(argv: list[str] | None = None) -> int:
     ratio = report.get("carried_adaptive_vs_best_static")
     if ratio is not None:
         print(f"adaptive carried numpy vs best static: {ratio:.2f}x")
+    speedup = report.get("topk_factorised_over_flat_sort")
+    if speedup is not None:
+        print(f"factorised top-k vs sort-the-flat-join: {speedup:.2f}x")
     print(f"written to {args.out}")
     return 0
 

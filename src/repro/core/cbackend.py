@@ -54,7 +54,7 @@ import numpy as np
 from repro.core.lowering import (
     MODE_ALIGNED,
     MODE_SCALAR,
-    emission_mode,
+    base_emission_mode,
     lower_plan,
 )
 from repro.core.plan import (
@@ -150,10 +150,13 @@ class _ArgSpec:
 
 
 def _emission_mode(emission: Emission) -> str:
-    """The shared lowering's mode, with ``'aligned'`` rendered as this
-    backend's ``'append'`` (aligned emissions append into run-count-sized
-    arrays instead of materialising masked columns)."""
-    mode = emission_mode(emission)
+    """The shared lowering's *base* mode, with ``'aligned'`` rendered as
+    this backend's ``'append'`` (aligned emissions append into
+    run-count-sized arrays instead of materialising masked columns).
+    Ordered (``'topk'``) emissions render as their base: the generated C
+    accumulates the full group set, and the bounded-heap ranked cut runs
+    over its output at result finishing (:mod:`repro.core.topk`)."""
+    mode = base_emission_mode(emission)
     return "append" if mode == MODE_ALIGNED else mode
 
 

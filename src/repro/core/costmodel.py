@@ -57,7 +57,7 @@ import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
-from repro.core.lowering import MODE_HASH, emission_mode
+from repro.core.lowering import MODE_HASH, base_emission_mode
 from repro.core.plan import Emission, MultiOutputPlan
 from repro.util.errors import PlanError
 
@@ -65,8 +65,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.core.engine import EngineConfig
     from repro.data.trie import TrieIndex
 
-#: env var forcing the grouping strategy of every hash emission.
+#: env var forcing the grouping strategy of every hash emission (also
+#: accepts ``heap``/``sort`` to force the ordered-emission finishing
+#: kernel, so one CI matrix axis drives both grids).
 FORCE_STRATEGY_ENV = "LMFAO_FORCE_STRATEGY"
+
+#: env var forcing the ordered-emission (top-k) finishing kernel alone;
+#: takes precedence over :data:`FORCE_STRATEGY_ENV` for that decision.
+FORCE_TOPK_ENV = "LMFAO_FORCE_TOPK"
 
 #: below this many trie rows a group stays on interpreted Python under
 #: ``backend="auto"`` — array-program staging costs more than the loop.
@@ -89,17 +95,73 @@ MIN_SORT_ITEMS = 1024
 
 STRATEGY_HASH = "hash"
 STRATEGY_SORT = "sort"
-_VALID_FORCE = {STRATEGY_HASH, STRATEGY_SORT, "auto", ""}
+STRATEGY_HEAP = "heap"
+_VALID_FORCE = {STRATEGY_HASH, STRATEGY_SORT, STRATEGY_HEAP, "auto", ""}
+_VALID_FORCE_TOPK = {STRATEGY_HEAP, STRATEGY_SORT, "auto", ""}
+
+#: sort-based finishing wins once ``k`` covers this fraction of the
+#: grouped items — below it the bounded-heap selection's ``O(n)`` pass
+#: beats the full ``O(n log n)`` sort (see docs/architecture.md
+#: §Ordered emissions).
+TOPK_HEAP_FRACTION = 0.25
 
 
 def forced_strategy() -> str | None:
-    """The ``LMFAO_FORCE_STRATEGY`` override, or None when unset/auto."""
+    """The ``LMFAO_FORCE_STRATEGY`` grouping override, or None when
+    unset/auto. ``'heap'`` is a valid value but forces only the ordered
+    finishing kernel (:func:`topk_strategy`), never grouping."""
     raw = os.environ.get(FORCE_STRATEGY_ENV, "")
     if raw not in _VALID_FORCE:
         raise PlanError(
-            f"{FORCE_STRATEGY_ENV} must be 'hash', 'sort' or 'auto', got {raw!r}"
+            f"{FORCE_STRATEGY_ENV} must be 'hash', 'sort', 'heap' or "
+            f"'auto', got {raw!r}"
         )
     return raw if raw in {STRATEGY_HASH, STRATEGY_SORT} else None
+
+
+def forced_topk() -> str | None:
+    """The forced ordered-finishing kernel, or None when unset/auto.
+
+    ``LMFAO_FORCE_TOPK=heap|sort`` pins the kernel directly;
+    ``LMFAO_FORCE_STRATEGY=heap|sort`` pins it too (one CI axis forces
+    both the grouping and finishing grids), with the dedicated variable
+    taking precedence. Invalid values fail fast, mirroring
+    :func:`forced_strategy`.
+    """
+    raw = os.environ.get(FORCE_TOPK_ENV, "")
+    if raw not in _VALID_FORCE_TOPK:
+        raise PlanError(
+            f"{FORCE_TOPK_ENV} must be 'heap', 'sort' or 'auto', got {raw!r}"
+        )
+    if raw in {STRATEGY_HEAP, STRATEGY_SORT}:
+        return raw
+    shared = os.environ.get(FORCE_STRATEGY_ENV, "")
+    if shared in {STRATEGY_HEAP, STRATEGY_SORT}:
+        return shared
+    return None
+
+
+def topk_strategy(limit: int | None, items: int) -> str:
+    """``'heap'`` or ``'sort'`` for finishing one ordered emission.
+
+    ``items`` is the full grouped-row count the finisher ranks over (the
+    *group size* of the raw output — known exactly at finish time, not
+    estimated). Bounded-heap selection wins while ``k`` stays a small
+    fraction (:data:`TOPK_HEAP_FRACTION`) of the items; a full sort wins
+    when ``k`` approaches the input or there is no cut at all
+    (``limit is None``: every row survives, ranked). Both kernels
+    realise the same deterministic total order, so the choice is purely
+    a cost decision — forced both ways by the ordered differential
+    grids via :func:`forced_topk`.
+    """
+    forced = forced_topk()
+    if forced is not None:
+        return forced
+    if limit is None or items <= MIN_SORT_ITEMS // 8:
+        return STRATEGY_SORT
+    if limit <= TOPK_HEAP_FRACTION * items:
+        return STRATEGY_HEAP
+    return STRATEGY_SORT
 
 
 def usable_cores() -> int:
@@ -233,10 +295,17 @@ def emission_strategy(emission: Emission, stats: TrieStats) -> str:
     Everything else — heavy key repetition, small inputs, dense code
     spaces — stays on hash.
     """
+    # the *base* mode decides grouping: an ordered (topk) emission still
+    # accumulates its full groups like its host mode, so it gets the same
+    # hash-vs-sort grouping decision (the ranked cut is a separate,
+    # finish-time decision — see topk_strategy)
     forced = forced_strategy()
     if forced is not None:
-        return forced if emission_mode(emission) == MODE_HASH else STRATEGY_HASH
-    if emission_mode(emission) != MODE_HASH:
+        return (
+            forced if base_emission_mode(emission) == MODE_HASH
+            else STRATEGY_HASH
+        )
+    if base_emission_mode(emission) != MODE_HASH:
         return STRATEGY_HASH
     host = max(slot.level for slot in emission.slots)
     items = stats.runs(host)
@@ -327,7 +396,9 @@ def group_decision(
     fingerprints.
     """
     hash_emissions = [
-        e.artifact for e in plan.emissions if emission_mode(e) == MODE_HASH
+        e.artifact
+        for e in plan.emissions
+        if base_emission_mode(e) == MODE_HASH
     ]
     if backend == "numpy":
         resolved = resolve_strategies(plan, trie, adaptive=adaptive) or {}

@@ -307,6 +307,9 @@ def decompose_group(
             and set(group_by) == set(order_attrs[: len(group_by)])
             and slots[0].level == len(group_by) - 1
         )
+        order_spec = None
+        if not is_view and artifact.query.order_by is not None:
+            order_spec = (artifact.query.order_by.signature, artifact.query.limit)
         emissions.append(
             Emission(
                 artifact=artifact.name,
@@ -315,6 +318,7 @@ def decompose_group(
                 group_by=group_by,
                 slots=slots,
                 aligned=aligned,
+                order=order_spec,
             )
         )
 

@@ -39,7 +39,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 
-from repro.core import costmodel
+from repro.core import costmodel, topk
 from repro.core.codegen import CompiledGroup, generate_group
 from repro.core.decompose import decompose_group
 from repro.core.groups import GroupPlan, build_groups
@@ -47,6 +47,7 @@ from repro.core.orders import GroupOrder, order_group
 from repro.core.plan import MultiOutputPlan
 from repro.core.snapshot import Snapshot, SnapshotStore
 from repro.core.runtime import (
+    debug_checks_enabled,
     execute_plan,
     execute_plan_partitioned,
     merge_partial_outputs,
@@ -819,11 +820,25 @@ class LMFAO:
                     view_seeds.publish(name, data)
 
         with watch.lap("collect"):
-            results = {
-                query.name: _to_query_result(query, query_raw[query.name])
-                for query in batch
-            }
-        return RunResult(
+            results: dict[str, QueryResult] = {}
+            producers: dict[str, str] | None = None
+            for query in batch:
+                raw = query_raw[query.name]
+                if query.order_by is not None:
+                    # ordered queries finish here — once, over the full
+                    # merged raw groups — and the kernel choice lands in
+                    # the producing group's decision record (queries are
+                    # never seeded, so that group always executed).
+                    groups, strategy = topk.finish_ordered(query, raw)
+                    results[query.name] = QueryResult(query=query, groups=groups)
+                    if producers is None:
+                        producers = _query_producers(compiled)
+                    entry = decisions.get(producers.get(query.name))
+                    if entry is not None:
+                        entry.setdefault("topk", {})[query.name] = strategy
+                else:
+                    results[query.name] = _to_query_result(query, raw)
+        run = RunResult(
             results=results,
             compiled=compiled,
             timings=watch.laps,
@@ -834,6 +849,9 @@ class LMFAO:
                 compiled.group_plan.groups[index].name for index in sorted(skipped)
             ),
         )
+        if debug_checks_enabled():
+            _debug_check_run_consistency(batch, run)
+        return run
 
     # ------------------------------------------------------------------ helpers
     def _assign_roots(self, batch: QueryBatch, db: Database) -> dict[str, str]:
@@ -1258,9 +1276,67 @@ def _topological_order(group_plan: GroupPlan) -> list[int]:
 
 
 def _to_query_result(query: Query, raw: dict) -> QueryResult:
+    """Finish one query's raw group store into its published result.
+
+    This is the single seam where ordered queries are ranked and
+    truncated (see :mod:`repro.core.topk`) — both the engine's collect
+    phase and the incremental maintainer's result refresh go through it,
+    so ordered results are bit-identical no matter which path produced
+    the raw store.
+    """
+    if query.order_by is not None:
+        groups, _strategy = topk.finish_ordered(query, raw)
+        return QueryResult(query=query, groups=groups)
     groups: dict[tuple, tuple[float, ...]] = {}
     for key, values in raw.items():
         if not isinstance(key, tuple):
             key = (key,)
         groups[key] = tuple(float(v) for v in values)
     return QueryResult(query=query, groups=groups)
+
+
+def _query_producers(compiled: CompiledBatch) -> dict[str, str]:
+    """Map query name -> name of the group whose plan emits it."""
+    producers: dict[str, str] = {}
+    for index, plan in enumerate(compiled.plans):
+        group_name = compiled.group_plan.groups[index].name
+        for query_name in plan.produced_queries:
+            producers[query_name] = group_name
+    return producers
+
+
+def _debug_check_run_consistency(batch: QueryBatch, run: RunResult) -> None:
+    """LMFAO_DEBUG invariants tying decisions/timings/skips together.
+
+    Every executed group must have exactly one decision record and one
+    wall-clock entry; skipped groups must have neither; and every ordered
+    query must have its top-k kernel choice recorded under its producing
+    group (queries are never view-cache seeded, so the producer ran).
+    """
+    all_groups = {g.name for g in run.compiled.group_plan.groups}
+    skipped = set(run.skipped_groups)
+    executed = all_groups - skipped
+    assert skipped <= all_groups, (
+        f"skipped_groups {sorted(skipped - all_groups)} not in the plan"
+    )
+    assert set(run.decisions) == executed, (
+        f"decision records diverge from executed groups: "
+        f"{sorted(set(run.decisions) ^ executed)}"
+    )
+    assert set(run.group_times) == executed, (
+        f"group_times diverge from executed groups: "
+        f"{sorted(set(run.group_times) ^ executed)}"
+    )
+    producers = _query_producers(run.compiled)
+    for query in batch:
+        if query.order_by is None:
+            continue
+        producer = producers.get(query.name)
+        assert producer in executed, (
+            f"ordered query {query.name} has no executed producer group"
+        )
+        recorded = run.decisions[producer].get("topk", {}).get(query.name)
+        assert recorded in (costmodel.STRATEGY_HEAP, costmodel.STRATEGY_SORT), (
+            f"ordered query {query.name} missing top-k strategy in "
+            f"decisions[{producer!r}]: {recorded!r}"
+        )

@@ -51,17 +51,38 @@ from repro.core.plan import (
 MODE_SCALAR = "scalar"
 MODE_ALIGNED = "aligned"
 MODE_HASH = "hash"
+MODE_TOPK = "topk"
 
 
-def emission_mode(emission: Emission) -> str:
-    """``'scalar'`` (no group-by), ``'aligned'`` (assignment fast path),
-    or ``'hash'`` (probe-accumulate) — the one mode split every backend
-    dispatches on (the C backend renders ``'aligned'`` as array append)."""
+def base_emission_mode(emission: Emission) -> str:
+    """The structural *host* mode: how the loop nest accumulates the
+    emission's groups, ignoring any ordering on top. This is what the
+    backends' accumulation code and the grouping-strategy cost model
+    dispatch on — an ordered emission still groups like its base."""
     if not emission.group_by:
         return MODE_SCALAR
     if emission.aligned:
         return MODE_ALIGNED
     return MODE_HASH
+
+
+def emission_mode(emission: Emission) -> str:
+    """``'scalar'`` (no group-by), ``'aligned'`` (assignment fast path),
+    ``'hash'`` (probe-accumulate), or ``'topk'`` (ordered query output) —
+    the one mode split every backend dispatches on (the C backend renders
+    ``'aligned'`` as array append).
+
+    ``'topk'`` layers on a base mode (:func:`base_emission_mode`): the
+    backends accumulate the **full** grouped aggregate exactly like the
+    base — per-partition top-k is not mergeable from truncated partials,
+    so truncating inside a backend would break the partitioned and
+    incremental paths — and the ranked cut happens once, at result
+    finishing (:mod:`repro.core.topk`), with the kernel (bounded heap vs
+    full sort) picked per execution by the cost model.
+    """
+    if emission.order is not None and emission.group_by:
+        return MODE_TOPK
+    return base_emission_mode(emission)
 
 
 @dataclass(frozen=True)
@@ -89,8 +110,17 @@ class LoweredEmission:
     index: int
     emission: Emission
     mode: str
-    #: host-partitioned slot groups (non-empty only for ``'hash'`` mode).
+    #: host-partitioned slot groups (non-empty only for ``'hash'`` base).
     slot_groups: tuple[SlotGroupSchedule, ...]
+    #: the host accumulation mode (= ``mode`` except for ``'topk'``,
+    #: whose loop-nest scheduling follows its base).
+    base_mode: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.base_mode:
+            object.__setattr__(
+                self, "base_mode", base_emission_mode(self.emission)
+            )
 
 
 @dataclass(frozen=True)
@@ -172,17 +202,21 @@ def lower_plan(plan: MultiOutputPlan) -> LoweredPlan:
     slot_groups_at: dict[int, list[SlotGroupSchedule]] = {}
     for index, emission in enumerate(plan.emissions):
         mode = emission_mode(emission)
+        base = base_emission_mode(emission)
         groups: tuple[SlotGroupSchedule, ...] = ()
-        if mode == MODE_HASH:
+        if base == MODE_HASH:
             groups = tuple(
                 SlotGroupSchedule(index, emission, slots)
                 for _key, slots in emission.slot_groups()
             )
-        lowered = LoweredEmission(index, emission, mode, groups)
+        lowered = LoweredEmission(index, emission, mode, groups, base)
         lowered_emissions.append(lowered)
-        if mode == MODE_SCALAR:
+        # scheduling buckets follow the *base* mode: a topk emission's
+        # loop-nest hosting is exactly its base's (the ranked cut runs
+        # after all loops, at result finishing).
+        if base == MODE_SCALAR:
             scalar_emissions.append(lowered)
-        elif mode == MODE_ALIGNED:
+        elif base == MODE_ALIGNED:
             aligned_at.setdefault(emission.slots[0].level, []).append(lowered)
         else:
             for group in groups:

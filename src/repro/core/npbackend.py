@@ -1037,9 +1037,12 @@ class _PlanEvaluation:
         out: dict[str, dict] = {}
         for lowered in self.lowered.emissions:
             emission = lowered.emission
-            if lowered.mode == MODE_SCALAR:
+            # dispatch on the *base* mode: a 'topk' emission accumulates
+            # its full groups exactly like its base (the ranked cut is
+            # applied once, at result finishing — see repro.core.topk).
+            if lowered.base_mode == MODE_SCALAR:
                 out[emission.artifact] = self._scalar_output(emission)
-            elif lowered.mode == MODE_ALIGNED:
+            elif lowered.base_mode == MODE_ALIGNED:
                 out[emission.artifact] = self._aligned_output(emission)
             else:
                 out[emission.artifact] = self._hash_output(lowered)

@@ -1,0 +1,283 @@
+"""Ordered-emission finishing: rank + truncate per partition, once.
+
+Ordered/top-k queries (``Query.order_by`` / ``Query.limit``) add a new
+result *shape* — ranked, truncated, insertion-ordered — without changing
+what the execution layers compute: every backend still materialises the
+**full** grouped aggregate for an ordered query, because per-partition
+top-k is not mergeable from truncated partials (a key outside one trie
+partition's local top-k can belong to the global top-k once partials are
+summed). Truncating early would silently break the partitioned, parallel
+and incremental paths, so ranking happens exactly once, at the single
+seam every path already funnels results through
+(:func:`repro.core.engine._to_query_result`), over the complete raw
+store. That is also what makes incremental maintenance exact: deleted or
+decreased keys can be *replaced* in the top-k by keys the truncated
+result would have forgotten (see :func:`repro.incremental.rules.refresh_ordered`).
+
+Two strategy kernels implement the same deterministic total order (the
+tie-break contract of :class:`~repro.query.aggregates.OrderSpec`), picked
+per finish by :func:`repro.core.costmodel.topk_strategy` from ``k`` and
+the grouped-item count:
+
+* ``'heap'`` — bounded selection: per-partition ``heapq.nsmallest`` over
+  plain dict outputs (the generated-Python and C backends), and a
+  per-partition ``np.argpartition`` with exact boundary-tie resolution
+  over :class:`~repro.core.runtime.ArrayViewData` columnar outputs (the
+  NumPy backend). ``O(n + p·k log k)`` — wins when ``k`` is far below
+  the partition sizes;
+* ``'sort'`` — one full sort by ``(partition, ±value, residual key)``
+  (Python :func:`sorted` / ``np.lexsort``) then a per-partition cut.
+  Wins when ``k`` is a large fraction of the items or ``limit`` is None.
+
+Both kernels realise the identical total order — the composite
+``(±value, residual group-by key)`` is unique per row because group keys
+are unique — so forcing either path (``LMFAO_FORCE_TOPK``, or
+``LMFAO_FORCE_STRATEGY=heap|sort``) must be bit-exact, which the ordered
+differential grids assert.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core import costmodel
+from repro.core.runtime import ArrayViewData
+from repro.query.query import Query
+
+__all__ = ["finish_ordered", "order_positions", "rank_partition_items"]
+
+
+def order_positions(query: Query) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """``(partition, residual)`` group-key positions of an ordered query.
+
+    Partition positions follow ``order_by.partition_by`` order; residual
+    positions are the remaining group-by attributes in declaration order
+    (the ascending tie-break key).
+    """
+    spec = query.order_by
+    partition = tuple(query.group_by.index(a) for a in spec.partition_by)
+    in_partition = set(partition)
+    residual = tuple(
+        i for i in range(len(query.group_by)) if i not in in_partition
+    )
+    return partition, residual
+
+
+def _as_key(key) -> tuple:
+    return key if isinstance(key, tuple) else (key,)
+
+
+def rank_partition_items(
+    items: list[tuple[tuple, tuple[float, ...]]],
+    query: Query,
+    residual: tuple[int, ...],
+) -> list[tuple[tuple, tuple[float, ...]]]:
+    """One partition's items ranked and truncated (the bounded-heap kernel).
+
+    ``items`` are ``(full key tuple, float values)`` pairs of a single
+    partition; keys must already be normalised tuples and values floats.
+    Shared by the engine's heap finisher and the incremental maintainer's
+    targeted partition refresh, so both produce the identical order.
+    """
+    spec = query.order_by
+    sign = -1.0 if spec.descending else 1.0
+
+    def sort_key(item):
+        key, values = item
+        return (sign * values[spec.agg_index], tuple(key[i] for i in residual))
+
+    if query.limit is None:
+        return sorted(items, key=sort_key)
+    return heapq.nsmallest(query.limit, items, key=sort_key)
+
+
+# ------------------------------------------------------------ dict kernels
+
+
+def _finish_dict_sort(query: Query, raw: dict) -> dict:
+    spec = query.order_by
+    partition, residual = order_positions(query)
+    sign = -1.0 if spec.descending else 1.0
+    rows = [
+        (_as_key(key), tuple(float(v) for v in values))
+        for key, values in raw.items()
+    ]
+
+    def sort_key(row):
+        key, values = row
+        return (
+            tuple(key[i] for i in partition),
+            sign * values[spec.agg_index],
+            tuple(key[i] for i in residual),
+        )
+
+    rows.sort(key=sort_key)
+    limit = query.limit
+    out: dict[tuple, tuple[float, ...]] = {}
+    current = None
+    taken = 0
+    for key, values in rows:
+        part = tuple(key[i] for i in partition)
+        if part != current:
+            current, taken = part, 0
+        if limit is not None and taken >= limit:
+            continue
+        out[key] = values
+        taken += 1
+    return out
+
+
+def _finish_dict_heap(query: Query, raw: dict) -> dict:
+    partition, residual = order_positions(query)
+    buckets: dict[tuple, list] = {}
+    for key, values in raw.items():
+        key = _as_key(key)
+        part = tuple(key[i] for i in partition)
+        buckets.setdefault(part, []).append(
+            (key, tuple(float(v) for v in values))
+        )
+    out: dict[tuple, tuple[float, ...]] = {}
+    for part in sorted(buckets):
+        for key, values in rank_partition_items(buckets[part], query, residual):
+            out[key] = values
+    return out
+
+
+# -------------------------------------------------------- columnar kernels
+
+
+def _columnar_inputs(query: Query, raw: ArrayViewData):
+    """Sort operands off the columnar mirror: value key + key columns."""
+    spec = query.order_by
+    partition, residual = order_positions(query)
+    values = raw.value_matrix[:, spec.agg_index].astype(np.float64, copy=False)
+    vkey = -values if spec.descending else values
+    part_cols = [raw.key_columns[i] for i in partition]
+    res_cols = [raw.key_columns[i] for i in residual]
+    return vkey, part_cols, res_cols
+
+
+def _emit_rows(raw: ArrayViewData, order: np.ndarray) -> dict:
+    """Materialise the finished dict for ``order``'s row sequence."""
+    keys = list(zip(*(col[order].tolist() for col in raw.key_columns)))
+    matrix = raw.value_matrix[order]
+    return {
+        key: tuple(float(v) for v in row)
+        for key, row in zip(keys, matrix.tolist())
+    }
+
+
+def _partition_slices(part_cols: list[np.ndarray], n: int):
+    """Index groups per partition, partitions in ascending key order."""
+    if not part_cols:
+        return [np.arange(n)]
+    order = np.lexsort(tuple(reversed(part_cols)))
+    stacked = [col[order] for col in part_cols]
+    change = np.zeros(n, dtype=bool)
+    change[0] = True
+    for col in stacked:
+        change[1:] |= col[1:] != col[:-1]
+    starts = np.flatnonzero(change)
+    ends = np.append(starts[1:], n)
+    return [order[s:e] for s, e in zip(starts, ends)]
+
+
+def _finish_columnar_sort(query: Query, raw: ArrayViewData) -> dict:
+    n = len(raw)
+    if n == 0:
+        return {}
+    vkey, part_cols, res_cols = _columnar_inputs(query, raw)
+    # lexsort: last key is most significant — partitions first, then the
+    # (signed) order value, then the residual key columns ascending.
+    operands = tuple(reversed(res_cols)) + (vkey,) + tuple(reversed(part_cols))
+    order = np.lexsort(operands)
+    limit = query.limit
+    if limit is not None:
+        if part_cols:
+            change = np.zeros(n, dtype=bool)
+            change[0] = True
+            for col in part_cols:
+                sorted_col = col[order]
+                change[1:] |= sorted_col[1:] != sorted_col[:-1]
+            starts = np.flatnonzero(change)
+            ranks = np.arange(n) - np.repeat(
+                starts, np.append(starts[1:], n) - starts
+            )
+        else:
+            ranks = np.arange(n)
+        order = order[ranks < limit]
+    return _emit_rows(raw, order)
+
+
+def _finish_columnar_heap(query: Query, raw: ArrayViewData) -> dict:
+    n = len(raw)
+    if n == 0:
+        return {}
+    vkey, part_cols, res_cols = _columnar_inputs(query, raw)
+    limit = query.limit
+    pieces: list[np.ndarray] = []
+    for idx in _partition_slices(part_cols, n):
+        m = len(idx)
+        if limit is not None and limit < m:
+            # argpartition on the signed value alone, then resolve the
+            # k-boundary tie exactly: strictly-better rows are all in,
+            # boundary-equal rows are ranked by the residual key.
+            pv = vkey[idx]
+            boundary = np.partition(pv, limit - 1)[limit - 1]
+            sure = idx[pv < boundary]
+            tied = idx[pv == boundary]
+            need = limit - len(sure)
+            if len(tied) > need and res_cols:
+                tie_order = np.lexsort(
+                    tuple(col[tied] for col in reversed(res_cols))
+                )
+                tied = tied[tie_order[:need]]
+            elif len(tied) > need:  # defensive: empty residual ⇒ 1-row parts
+                tied = tied[:need]
+            candidates = np.concatenate([sure, tied])
+        else:
+            candidates = idx
+        final = np.lexsort(
+            tuple(col[candidates] for col in reversed(res_cols))
+            + (vkey[candidates],)
+        )
+        pieces.append(candidates[final])
+    order = (
+        np.concatenate(pieces) if pieces else np.arange(0)
+    ).astype(np.intp, copy=False)
+    return _emit_rows(raw, order)
+
+
+# ---------------------------------------------------------------- dispatch
+
+
+def finish_ordered(query: Query, raw: dict) -> tuple[dict, str]:
+    """Rank and truncate one ordered query's full raw groups.
+
+    Returns ``(finished groups, strategy)`` — the insertion-ordered dict
+    realising the query's deterministic total order, and the ``'heap'``
+    or ``'sort'`` kernel the cost model picked (recorded on
+    ``RunResult.decisions`` by the engine). The kernel pair is chosen by
+    the raw container: columnar ``np.argpartition``/``np.lexsort`` when
+    the NumPy backend's :class:`ArrayViewData` mirror is intact, bounded
+    ``heapq``/:func:`sorted` over plain dict outputs otherwise.
+    """
+    if query.limit == 0:
+        return {}, costmodel.STRATEGY_SORT
+    strategy = costmodel.topk_strategy(query.limit, len(raw))
+    columnar = isinstance(raw, ArrayViewData) and raw.has_columns
+    if strategy == costmodel.STRATEGY_HEAP:
+        finished = (
+            _finish_columnar_heap(query, raw)
+            if columnar
+            else _finish_dict_heap(query, raw)
+        )
+    else:
+        finished = (
+            _finish_columnar_sort(query, raw)
+            if columnar
+            else _finish_dict_sort(query, raw)
+        )
+    return finished, strategy

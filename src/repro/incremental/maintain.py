@@ -80,7 +80,7 @@ from repro.core.snapshot import Snapshot
 from repro.data.catalog import Database
 from repro.data.trie import TrieIndex
 from repro.incremental.delta import RelationDelta, stage_deltas
-from repro.incremental.rules import DeltaRules
+from repro.incremental.rules import DeltaRules, refresh_ordered
 from repro.query.query import QueryResult
 from repro.util.errors import PlanError
 
@@ -164,6 +164,11 @@ class MaintainedBatch:
         self._view_group_by = {
             name: view.group_by for name, view in compiled.view_plan.views.items()
         }
+        # ordered queries get targeted partition re-ranks on apply; their
+        # raw changed-key sets are tracked per round for exactly this.
+        self._ordered_queries = frozenset(
+            query.name for query in compiled.batch if query.order_by is not None
+        )
         # Pin the engine's current snapshot. Its trie memo is *shared* (the
         # memo only gains immutable entries, so warming it here warms the
         # engine's runs too); successor versions built by apply() share
@@ -332,6 +337,7 @@ class MaintainedBatch:
         changed_views: set[str] = set()
         refreshed_views: set[str] = set()
         dirty_queries: set[str] = set()
+        dirty_keys: dict[str, set] = {}
         for index in self.compiled.execution_order:
             plan = self.compiled.plans[index]
             node_delta = changed.get(plan.node)
@@ -356,10 +362,23 @@ class MaintainedBatch:
                 changed_views=changed_views,
                 refreshed_views=refreshed_views,
                 dirty_queries=dirty_queries,
+                dirty_keys=dirty_keys,
             )
         results = dict(state.results)
         for query in self.compiled.batch:
-            if query.name in dirty_queries:
+            if query.name not in dirty_queries:
+                continue
+            if query.order_by is not None:
+                results[query.name] = QueryResult(
+                    query=query,
+                    groups=refresh_ordered(
+                        query,
+                        state.results.get(query.name),
+                        query_raw[query.name],
+                        dirty_keys.get(query.name),
+                    ),
+                )
+            else:
                 results[query.name] = _to_query_result(
                     query, query_raw[query.name]
                 )
@@ -472,6 +491,7 @@ class MaintainedBatch:
         changed_views: set[str] | None = None,
         refreshed_views: set[str] | None = None,
         dirty_queries: set[str] | None = None,
+        dirty_keys: dict[str, set] | None = None,
     ) -> None:
         """Adopt (rescan) or add (numeric) one group's outputs; track diffs.
 
@@ -479,20 +499,42 @@ class MaintainedBatch:
         ``query_raw``); the previous version's dicts and value lists are
         never touched — numeric merges go through the copy-on-write
         :meth:`_merge_delta_outputs`.
+
+        For ordered queries the per-key change set is collected into
+        ``dirty_keys`` (numeric merges report the keys they touched; a
+        rescan diffs old vs new raw), feeding
+        :func:`repro.incremental.rules.refresh_ordered`'s targeted
+        partition re-rank.
         """
         cutoff = self.config.incremental_cutoff
         for emission in self.compiled.plans[index].emissions:
             is_view = emission.kind == "view"
             store = view_data if is_view else query_raw
             name = emission.artifact
+            track: set | None = None
+            if (
+                dirty_keys is not None
+                and not is_view
+                and name in self._ordered_queries
+            ):
+                track = dirty_keys.setdefault(name, set())
             if merge is not None:
-                merged, artifact_changed = merge(store[name], outputs[name])
+                merged, artifact_changed = merge(
+                    store[name], outputs[name], track
+                )
                 store[name] = merged
             else:
                 old = store.get(name)
                 new = outputs[name]
                 store[name] = new
                 artifact_changed = old is None or old != new
+                if track is not None and artifact_changed:
+                    if old is None:
+                        dirty_keys[name] = None  # unknown: force full finish
+                    else:
+                        for key in old.keys() | new.keys():
+                            if old.get(key) != new.get(key):
+                                track.add(key)
             if changed_views is None:
                 continue
             if is_view:
@@ -504,10 +546,15 @@ class MaintainedBatch:
                 dirty_queries.add(name)
 
     @staticmethod
-    def _merge_delta_outputs(target: dict, delta: dict) -> tuple[dict, bool]:
+    def _merge_delta_outputs(
+        target: dict, delta: dict, changed_keys: set | None = None
+    ) -> tuple[dict, bool]:
         """A merged copy ``target + delta`` per key and slot (copy-on-write).
 
-        Returns ``(merged, changed)``. ``target`` — the *previous*
+        Returns ``(merged, changed)``; when ``changed_keys`` is given,
+        every key the merge added or updated is also recorded into it
+        (the ordered-query refresh uses this to re-rank only the dirtied
+        partitions). ``target`` — the *previous*
         version's artifact — is never mutated, and neither are its stored
         value lists: the merge shallow-copies the key table and copies a
         value list the first time a slot of it changes, so readers holding
@@ -527,6 +574,8 @@ class MaintainedBatch:
             if current is None:
                 merged[key] = list(values)
                 changed = True
+                if changed_keys is not None:
+                    changed_keys.add(key)
                 continue
             updated = None
             for slot, value in enumerate(values):
@@ -537,6 +586,8 @@ class MaintainedBatch:
                     changed = True
             if updated is not None:
                 merged[key] = updated
+                if changed_keys is not None:
+                    changed_keys.add(key)
         if debug_checks_enabled():
             # the merge must leave both sources unscathed
             for source in (target, delta):

@@ -22,6 +22,78 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core import topk
+from repro.core.runtime import debug_checks_enabled
+
+
+def refresh_ordered(query, old_result, new_raw, dirty_keys):
+    """Targeted re-rank of one ordered query after an apply round.
+
+    The maintainer keeps the **full** raw group store for ordered queries
+    (see :mod:`repro.core.topk`), so this never has to reconstruct
+    evicted keys — it only re-ranks. ``dirty_keys`` is the set of raw
+    group keys whose values this round added, changed or removed
+    (collected by the numeric merge, or by diffing old vs new raw on a
+    rescan); only the *partitions* containing a dirty key are re-ranked
+    — inserts re-select via the bounded-heap kernel
+    (:func:`repro.core.topk.rank_partition_items`), deletes re-rank the
+    same way over the already-rescanned partition — while every clean
+    partition's finished rows are reused verbatim from ``old_result``.
+    The rebuilt dict walks all partitions in ascending order, so the
+    result is bit-identical to a from-scratch finish over ``new_raw``
+    (asserted under ``LMFAO_DEBUG``).
+
+    ``dirty_keys=None`` means "unknown" and falls back to the full
+    finish, as does any inconsistency between the old finished result
+    and the new raw store.
+    """
+    if old_result is None or dirty_keys is None or query.limit == 0:
+        return topk.finish_ordered(query, new_raw)[0]
+    partition, residual = topk.order_positions(query)
+
+    def part_of(key):
+        key = key if isinstance(key, tuple) else (key,)
+        return tuple(key[i] for i in partition)
+
+    dirty_parts = {part_of(key) for key in dirty_keys}
+    parts: set[tuple] = set()
+    dirty_items: dict[tuple, list] = {}
+    for key, values in new_raw.items():
+        key = key if isinstance(key, tuple) else (key,)
+        part = tuple(key[i] for i in partition)
+        parts.add(part)
+        if part in dirty_parts:
+            dirty_items.setdefault(part, []).append(
+                (key, tuple(float(v) for v in values))
+            )
+    clean: dict[tuple, list] = {}
+    for key, values in old_result.groups.items():
+        part = tuple(key[i] for i in partition)
+        if part not in dirty_parts:
+            clean.setdefault(part, []).append((key, values))
+    if any(part not in clean for part in parts - dirty_parts):
+        # a partition the dirty keys did not cover is missing from the
+        # old finished result — tracking went inconsistent; stay exact.
+        return topk.finish_ordered(query, new_raw)[0]
+
+    out: dict[tuple, tuple[float, ...]] = {}
+    for part in sorted(parts):
+        if part in dirty_parts:
+            ranked = topk.rank_partition_items(
+                dirty_items.get(part, []), query, residual
+            )
+            for key, values in ranked:
+                out[key] = values
+        else:
+            for key, values in clean[part]:
+                out[key] = values
+    if debug_checks_enabled():
+        full = topk.finish_ordered(query, new_raw)[0]
+        assert list(out.items()) == list(full.items()), (
+            f"refresh_ordered({query.name}) diverged from the full finish"
+        )
+    return out
+
 
 @dataclass(frozen=True)
 class DeltaRules:

@@ -6,7 +6,7 @@ LMFAO queries are **sum-product group-by aggregates** over the natural join
 thousands of such queries for joint optimisation.
 """
 
-from repro.query.aggregates import Aggregate, Factor
+from repro.query.aggregates import Aggregate, Factor, OrderSpec
 from repro.query.batch import QueryBatch
 from repro.query.functions import (
     Function,
@@ -26,6 +26,7 @@ __all__ = [
     "Function",
     "FunctionRegistry",
     "Op",
+    "OrderSpec",
     "Predicate",
     "Query",
     "QueryBatch",

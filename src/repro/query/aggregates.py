@@ -100,3 +100,57 @@ class Aggregate:
         if not self.factors:
             return "SUM(1)"
         return "SUM(" + "*".join(repr(f) for f in self.factors) + ")"
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """``ORDER BY aggregates[agg_index] [DESC] [PARTITION BY ...]``.
+
+    Ranks a grouped query's result rows by one of its aggregates,
+    independently within each *partition* — the leaderboard shape
+    ("top 5 products by revenue **per store**"): ``partition_by`` names
+    the group-by attributes that define a partition, and the remaining
+    group-by attributes (the *residual* key) are what gets ranked.
+    Empty ``partition_by`` means one global partition.
+
+    The total order is deterministic by construction — the **tie-break
+    contract** every backend, executor and maintenance path must
+    reproduce bit-exactly (see ``docs/architecture.md`` §Ordered
+    emissions):
+
+    1. partitions appear in ascending ``partition_by``-key order;
+    2. within a partition, rows sort by the ordering aggregate's value
+       (descending when :attr:`descending`, the default);
+    3. value ties break by the residual group-by key tuple, ascending.
+
+    Attributes
+    ----------
+    agg_index:
+        Index into ``Query.aggregates`` of the ordering aggregate.
+    descending:
+        Rank direction; True (default) puts the largest value first.
+    partition_by:
+        Group-by attributes defining the per-partition scope; must be a
+        subset of the query's ``group_by``.
+    """
+
+    agg_index: int = 0
+    descending: bool = True
+    partition_by: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.agg_index < 0:
+            raise QueryError("OrderSpec.agg_index must be non-negative")
+        if len(set(self.partition_by)) != len(self.partition_by):
+            raise QueryError("OrderSpec.partition_by repeats attributes")
+
+    @property
+    def signature(self) -> tuple:
+        """Structural identity (fingerprints, view identities)."""
+        return ("order", self.agg_index, self.descending, self.partition_by)
+
+    def __repr__(self) -> str:
+        parts = [f"agg[{self.agg_index}]", "DESC" if self.descending else "ASC"]
+        if self.partition_by:
+            parts.append(f"PER({', '.join(self.partition_by)})")
+        return f"OrderSpec({' '.join(parts)})"

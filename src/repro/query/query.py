@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.data.schema import DatabaseSchema
-from repro.query.aggregates import Aggregate
+from repro.query.aggregates import Aggregate, OrderSpec
 from repro.query.predicates import Predicate
 from repro.util.errors import QueryError
 
@@ -31,12 +31,24 @@ class Query:
         One or more sum-product aggregates.
     where:
         Conjunction of simple comparison predicates; empty means no filter.
+    order_by:
+        Optional :class:`~repro.query.aggregates.OrderSpec` ranking the
+        result rows by one aggregate, per partition. Ordered results are
+        *finished*: :attr:`QueryResult.groups` is insertion-ordered by
+        the spec's deterministic total order (and truncated by
+        ``limit``), identically on every backend and execution path.
+    limit:
+        Optional top-k cut *per partition* (requires ``order_by``);
+        ``None`` keeps every row, ordered. ``0`` is allowed and yields
+        an empty result.
     """
 
     name: str
     group_by: tuple[str, ...] = ()
     aggregates: tuple[Aggregate, ...] = (Aggregate.count(),)
     where: tuple[Predicate, ...] = ()
+    order_by: OrderSpec | None = None
+    limit: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -45,6 +57,33 @@ class Query:
             raise QueryError(f"query {self.name} needs at least one aggregate")
         if len(set(self.group_by)) != len(self.group_by):
             raise QueryError(f"query {self.name} repeats group-by attributes")
+        if self.limit is not None and self.order_by is None:
+            raise QueryError(f"query {self.name}: limit requires order_by")
+        if self.order_by is not None:
+            if not self.group_by:
+                raise QueryError(
+                    f"query {self.name}: order_by needs a group-by "
+                    f"(a scalar result has nothing to rank)"
+                )
+            if self.order_by.agg_index >= len(self.aggregates):
+                raise QueryError(
+                    f"query {self.name}: order_by.agg_index "
+                    f"{self.order_by.agg_index} out of range for "
+                    f"{len(self.aggregates)} aggregate(s)"
+                )
+            unknown = set(self.order_by.partition_by) - set(self.group_by)
+            if unknown:
+                raise QueryError(
+                    f"query {self.name}: order_by.partition_by attributes "
+                    f"{sorted(unknown)} are not in the group-by"
+                )
+        if self.limit is not None and self.limit < 0:
+            raise QueryError(f"query {self.name}: limit must be >= 0")
+
+    @property
+    def is_ordered(self) -> bool:
+        """Whether results are finished (ranked, possibly truncated)."""
+        return self.order_by is not None
 
     @property
     def attributes(self) -> tuple[str, ...]:
@@ -72,6 +111,10 @@ class Query:
             parts.append(" WHERE " + " AND ".join(repr(p) for p in self.where))
         if self.group_by:
             parts.append(" GROUP BY " + ", ".join(self.group_by))
+        if self.order_by is not None:
+            parts.append(" ORDER BY " + repr(self.order_by))
+        if self.limit is not None:
+            parts.append(f" LIMIT {self.limit}")
         parts.append(")")
         return "".join(parts)
 
@@ -82,6 +125,12 @@ class QueryResult:
 
     For scalar queries (no group-by) the mapping has the single key ``()``.
     Aggregate values follow the order of ``Query.aggregates``.
+
+    For **ordered** queries (``query.order_by`` set) the mapping is
+    *finished*: insertion order follows the spec's deterministic total
+    order (partitions ascending, rows ranked within each partition) and
+    only the per-partition top-``limit`` rows survive. :meth:`ranked`
+    and :meth:`topk` expose that order directly.
     """
 
     query: Query
@@ -99,6 +148,37 @@ class QueryResult:
         if not isinstance(key, tuple):
             key = (key,)
         return self.groups[key]
+
+    def ranked(self) -> list[tuple[tuple, tuple[float, ...]]]:
+        """The finished rows in rank order (ordered queries only)."""
+        if self.query.order_by is None:
+            raise QueryError(
+                f"query {self.query.name} has no order_by; groups are a bag"
+            )
+        return list(self.groups.items())
+
+    def topk(self, partition: object = ()) -> list[tuple[tuple, tuple[float, ...]]]:
+        """One partition's ranked rows (ordered queries only).
+
+        ``partition`` is the partition-key tuple in ``partition_by``
+        order (a bare value is wrapped; the default ``()`` reads the
+        single global partition of an empty ``partition_by``).
+        """
+        if self.query.order_by is None:
+            raise QueryError(
+                f"query {self.query.name} has no order_by; groups are a bag"
+            )
+        if not isinstance(partition, tuple):
+            partition = (partition,)
+        positions = [
+            self.query.group_by.index(a)
+            for a in self.query.order_by.partition_by
+        ]
+        return [
+            (key, values)
+            for key, values in self.groups.items()
+            if tuple(key[p] for p in positions) == partition
+        ]
 
     def __len__(self) -> int:
         return len(self.groups)

@@ -117,6 +117,12 @@ def batch_fingerprint(
                 (p.attribute, p.op.value, placeholder(p.op.value, float(p.value)))
                 for p in query.where
             ),
+            # ordering is literal structure, never abstracted: top-k
+            # truncation changes which groups a result even contains, so
+            # an ordered batch can never ride an unordered compilation
+            # (or one with a different spec or k).
+            query.order_by.signature if query.order_by is not None else None,
+            query.limit,
         )
         for query in batch
     )
@@ -158,6 +164,8 @@ def bind_batch(compiled: CompiledBatch, batch: QueryBatch) -> PlanBinding:
             cached_q.name != request_q.name
             or cached_q.group_by != request_q.group_by
             or len(cached_q.where) != len(request_q.where)
+            or cached_q.order_by != request_q.order_by
+            or cached_q.limit != request_q.limit
         ):
             raise PlanError(
                 f"bind_batch: query {request_q.name!r} diverged structurally "

@@ -1,0 +1,207 @@
+"""Unit tests of the ordered-emission finishing kernels and their knobs.
+
+The differential grids (``test_ordered_grid.py``) anchor end-to-end
+correctness; this file pins the pieces in isolation: the four kernels'
+pairwise bit-equality on adversarial raw stores, the cost model's
+heap-vs-sort choice and its forcing envs, the query-layer validation,
+and the ordered accessors on :class:`QueryResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import costmodel, topk
+from repro.core.runtime import ArrayViewData
+from repro.query import Aggregate, Factor, OrderSpec, Query
+from repro.query.functions import identity
+from repro.util.errors import QueryError
+
+from tests.oracle import rank_reference
+from repro.query.query import QueryResult
+
+
+def _query(group_by, *, agg_index=0, descending=True, partition_by=(), limit=None):
+    return Query(
+        "Q",
+        group_by=group_by,
+        aggregates=(Aggregate((Factor("x", identity),)), Aggregate.count()),
+        order_by=OrderSpec(
+            agg_index=agg_index, descending=descending, partition_by=partition_by
+        ),
+        limit=limit,
+    )
+
+
+def _columnar(raw: dict, width: int) -> ArrayViewData:
+    """An ArrayViewData mirroring ``raw``, as the NumPy backend emits it."""
+    data = ArrayViewData(raw)
+    keys = list(raw)
+    data.key_columns = [
+        np.array([k[i] for k in keys]) for i in range(len(keys[0]) if keys else 0)
+    ]
+    data.value_matrix = np.array(
+        [list(raw[k]) for k in keys], dtype=np.float64
+    ).reshape(len(keys), width)
+    return data
+
+
+@st.composite
+def raw_stores(draw):
+    """Random raw group stores with dense keys and heavy value collisions."""
+    n = draw(st.integers(0, 40))
+    keys = draw(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 4), st.integers(0, 3)),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    # values drawn from a tiny domain: ties everywhere, including the
+    # all-equal extreme when the domain collapses
+    lo = draw(st.integers(0, 2))
+    hi = draw(st.integers(lo, lo + draw(st.sampled_from([0, 1, 3]))))
+    return {
+        k: (float(draw(st.integers(lo, hi))), float(draw(st.integers(1, 3))))
+        for k in keys
+    }
+
+
+@given(
+    raw=raw_stores(),
+    limit=st.sampled_from([None, 0, 1, 2, 5, 100]),
+    descending=st.booleans(),
+    parts=st.integers(0, 2),
+    agg_index=st.integers(0, 1),
+)
+@settings(max_examples=120, deadline=None)
+def test_all_four_kernels_agree(raw, limit, descending, parts, agg_index):
+    """dict-heap ≡ dict-sort ≡ columnar-heap ≡ columnar-sort ≡ oracle."""
+    group_by = ("a", "b", "c")
+    query = _query(
+        group_by,
+        agg_index=agg_index,
+        descending=descending,
+        partition_by=group_by[:parts],
+        limit=limit,
+    )
+    outcomes = []
+    if limit == 0:
+        for raw_variant in (raw, _columnar(raw, 2)):
+            assert topk.finish_ordered(query, raw_variant)[0] == {}
+        return
+    for strategy in ("heap", "sort"):
+        finished_dict = (
+            topk._finish_dict_heap(query, raw)
+            if strategy == "heap"
+            else topk._finish_dict_sort(query, raw)
+        )
+        finished_col = (
+            topk._finish_columnar_heap(query, _columnar(raw, 2))
+            if strategy == "heap"
+            else topk._finish_columnar_sort(query, _columnar(raw, 2))
+        )
+        outcomes.append(list(finished_dict.items()))
+        outcomes.append(list(finished_col.items()))
+    assert all(o == outcomes[0] for o in outcomes[1:]), outcomes
+    full = QueryResult(query=query, groups={k: v for k, v in raw.items()})
+    assert outcomes[0] == list(rank_reference(query, full).groups.items())
+
+
+def test_finish_ordered_records_cost_model_choice(monkeypatch):
+    raw = {(i, j): (float(i * j % 5), 1.0) for i in range(10) for j in range(20)}
+    query = _query(("a", "b"), partition_by=("a",), limit=2)
+    monkeypatch.delenv(costmodel.FORCE_TOPK_ENV, raising=False)
+    monkeypatch.delenv(costmodel.FORCE_STRATEGY_ENV, raising=False)
+    _, strategy = topk.finish_ordered(query, raw)
+    assert strategy == costmodel.STRATEGY_HEAP  # k=2 of 200 items
+    _, strategy = topk.finish_ordered(_query(("a", "b"), limit=None), raw)
+    assert strategy == costmodel.STRATEGY_SORT  # unlimited = full sort
+    monkeypatch.setenv(costmodel.FORCE_TOPK_ENV, "sort")
+    _, strategy = topk.finish_ordered(query, raw)
+    assert strategy == costmodel.STRATEGY_SORT
+
+
+def test_force_strategy_heap_pins_topk_but_not_grouping(monkeypatch):
+    """LMFAO_FORCE_STRATEGY=heap: grouping stays auto, top-k forced."""
+    monkeypatch.setenv(costmodel.FORCE_STRATEGY_ENV, "heap")
+    monkeypatch.delenv(costmodel.FORCE_TOPK_ENV, raising=False)
+    assert costmodel.forced_strategy() is None
+    assert costmodel.forced_topk() == costmodel.STRATEGY_HEAP
+    # the dedicated env takes precedence
+    monkeypatch.setenv(costmodel.FORCE_TOPK_ENV, "sort")
+    assert costmodel.forced_topk() == costmodel.STRATEGY_SORT
+    monkeypatch.setenv(costmodel.FORCE_TOPK_ENV, "bogus")
+    with pytest.raises(Exception):
+        costmodel.forced_topk()
+
+
+def test_topk_strategy_thresholds(monkeypatch):
+    monkeypatch.delenv(costmodel.FORCE_TOPK_ENV, raising=False)
+    monkeypatch.delenv(costmodel.FORCE_STRATEGY_ENV, raising=False)
+    assert costmodel.topk_strategy(None, 10_000) == costmodel.STRATEGY_SORT
+    assert costmodel.topk_strategy(5, 10_000) == costmodel.STRATEGY_HEAP
+    assert costmodel.topk_strategy(9_000, 10_000) == costmodel.STRATEGY_SORT
+    # tiny stores never bother with selection
+    assert costmodel.topk_strategy(1, 4) == costmodel.STRATEGY_SORT
+
+
+# --------------------------------------------------------------- query layer
+
+
+def test_query_validation_rejects_bad_order_specs():
+    agg = (Aggregate((Factor("x", identity),)),)
+    with pytest.raises(QueryError):
+        Query("Q", group_by=("a",), aggregates=agg, limit=3)  # limit w/o order
+    with pytest.raises(QueryError):
+        Query("Q", aggregates=agg, order_by=OrderSpec())  # scalar ordered
+    with pytest.raises(QueryError):
+        Query(
+            "Q", group_by=("a",), aggregates=agg, order_by=OrderSpec(agg_index=7)
+        )
+    with pytest.raises(QueryError):
+        Query(
+            "Q",
+            group_by=("a",),
+            aggregates=agg,
+            order_by=OrderSpec(partition_by=("zzz",)),
+        )
+    with pytest.raises(QueryError):
+        Query(
+            "Q", group_by=("a",), aggregates=agg, order_by=OrderSpec(), limit=-1
+        )
+    with pytest.raises(QueryError):
+        OrderSpec(agg_index=-1)
+    with pytest.raises(QueryError):
+        OrderSpec(partition_by=("a", "a"))
+
+
+def test_query_repr_and_signature_cover_order():
+    q = _query(("a", "b"), partition_by=("a",), limit=5)
+    assert "ORDER BY" in repr(q) and "LIMIT 5" in repr(q)
+    assert q.is_ordered
+    plain = Query("Q", group_by=("a",), aggregates=(Aggregate.count(),))
+    assert not plain.is_ordered
+    assert OrderSpec(agg_index=1).signature != OrderSpec(agg_index=0).signature
+
+
+def test_query_result_ranked_and_topk_accessors():
+    query = _query(("a", "b"), partition_by=("a",), limit=2)
+    groups = {(0, 1): (9.0, 1.0), (0, 2): (5.0, 1.0), (1, 0): (7.0, 2.0)}
+    result = QueryResult(query=query, groups=groups)
+    assert result.ranked() == list(groups.items())
+    assert result.topk(partition=(0,)) == [
+        ((0, 1), (9.0, 1.0)),
+        ((0, 2), (5.0, 1.0)),
+    ]
+    assert result.topk(partition=(1,)) == [((1, 0), (7.0, 2.0))]
+    plain = QueryResult(
+        query=Query("P", group_by=("a",), aggregates=(Aggregate.count(),)),
+        groups={(0,): (1.0,)},
+    )
+    with pytest.raises(QueryError):
+        plain.ranked()

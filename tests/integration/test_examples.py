@@ -20,6 +20,7 @@ _EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
         ("aggregate_cube.py", (0.04,)),
         ("incremental_updates.py", (0.05,)),
         ("serving_concurrent.py", (0.04, 4, 2)),
+        ("leaderboard.py", (0.05,)),
     ],
 )
 def test_example_runs(script, args, capsys):

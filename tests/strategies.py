@@ -19,7 +19,7 @@ from hypothesis import strategies as st
 from repro.data.catalog import Database
 from repro.data.relation import Relation
 from repro.data.schema import Attribute, RelationSchema
-from repro.query.aggregates import Aggregate, Factor
+from repro.query.aggregates import Aggregate, Factor, OrderSpec
 from repro.query.batch import QueryBatch
 from repro.query.functions import identity, square
 from repro.query.predicates import Op, Predicate
@@ -130,6 +130,90 @@ def instances(draw, max_queries: int = 3) -> Instance:
         [draw(queries_for(db, f"Q{i}")) for i in range(num_queries)]
     )
     return Instance(db=db, batch=batch)
+
+
+@st.composite
+def ordered_queries_for(draw, db: Database, name: str) -> Query:
+    """A random ordered / top-k-per-group query over ``db``.
+
+    Adversarial by construction: the ``"ties"`` regime orders by a count
+    (or empty-product) aggregate whose value is the join multiplicity —
+    on small integer data that collides across many groups, including
+    the all-groups-equal extreme — so the residual-key tie-break is load
+    bearing, not decorative. ``limit`` draws cover ``k = 0``, ``k = 1``,
+    ``k`` larger than any group count, and unlimited (pure ORDER BY);
+    ``partition_by`` may equal the whole group-by (every partition a
+    single row). Empty partitions/groups come from the database
+    generator's 0-row and disjoint-key corners.
+    """
+    attrs = list(db.schema.all_attributes)
+    group_by = tuple(
+        draw(
+            st.lists(st.sampled_from(attrs), min_size=1, max_size=3, unique=True)
+        )
+    )
+    tie_regime = draw(st.sampled_from(["ties", "ties", "mixed"]))
+    aggregates = []
+    for _ in range(draw(st.integers(1, 2))):
+        if tie_regime == "ties":
+            aggregates.append(Aggregate.count())
+        else:
+            factors = tuple(
+                Factor(
+                    draw(st.sampled_from(attrs)),
+                    draw(st.sampled_from([identity, square])),
+                )
+                for _ in range(draw(st.integers(0, 2)))
+            )
+            aggregates.append(Aggregate(factors))
+    partition_by = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(group_by),
+                max_size=len(group_by),
+                unique=True,
+            )
+        )
+    )
+    order_by = OrderSpec(
+        agg_index=draw(st.integers(0, len(aggregates) - 1)),
+        descending=draw(st.booleans()),
+        partition_by=partition_by,
+    )
+    limit = draw(st.sampled_from([None, None, 0, 1, 2, 3, 100]))
+    where = ()
+    if draw(st.booleans()):
+        attr = draw(st.sampled_from(attrs))
+        op = draw(st.sampled_from(list(Op)))
+        where = (Predicate(attr, op, float(draw(st.integers(-2, 6)))),)
+    return Query(
+        name=name,
+        group_by=group_by,
+        aggregates=tuple(aggregates),
+        where=where,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+@st.composite
+def ordered_instances(draw, max_queries: int = 3) -> Instance:
+    """A database plus a batch mixing ordered and plain queries.
+
+    At least one query is ordered; plain queries ride along so ordered
+    and unordered emissions share views and groups within one batch —
+    the ordered differential grids run these against the sorted-Python
+    oracle (:mod:`tests.oracle`).
+    """
+    db = draw(databases())
+    num_queries = draw(st.integers(1, max_queries))
+    queries = [draw(ordered_queries_for(db, "Q0"))]
+    for i in range(1, num_queries):
+        if draw(st.booleans()):
+            queries.append(draw(ordered_queries_for(db, f"Q{i}")))
+        else:
+            queries.append(draw(queries_for(db, f"Q{i}")))
+    return Instance(db=db, batch=QueryBatch(queries))
 
 
 @st.composite

@@ -67,6 +67,23 @@ def test_bench_parallel_grid_smoke(tmp_path):
     )
     assert report["process_speedup_4workers_vs_sequential_python"] > 0
     assert "skipped" in report["process_speedup_assertion"]
+    # the ordered top-k arm: every engine point reproduces the
+    # sort-the-flat-join ranking as a sequence and records the finishing
+    # kernel per ordered query; the >=3x gate is row-gated like the rest
+    topk = report["topk_grid"]
+    assert {"python", "numpy"} <= {point["backend"] for point in topk}
+    assert any(
+        (point["backend"], point["workers"], point["partitions"])
+        == ("numpy", 4, 4)
+        for point in topk
+    )
+    for point in topk:
+        assert point["ordered_exact_vs_flat_baseline"]
+        assert set(point["kernels"]) == {"t_top_keys_per_g", "t_top_h"}
+        assert set(point["kernels"].values()) <= {"heap", "sort"}
+    assert report["topk_flat_baseline_seconds"] > 0
+    assert report["topk_factorised_over_flat_sort"] > 0
+    assert "skipped" in report["topk_speedup_assertion"]
 
 
 def test_bench_writes_smoke(tmp_path):
